@@ -1,0 +1,112 @@
+"""E-A8 — ablation: is the attack specific to Fisher combining?
+
+The paper attacks SpamBayes' Robinson/Fisher scoring and argues
+(Section 7) that "other spam filtering systems based on similar
+learning algorithms" — BogoFilter, SpamAssassin's Bayes — should be
+vulnerable too.  This ablation tests that claim inside one codebase:
+the same training state scored by the Robinson/Fisher combiner vs
+Graham's 2002 naive-Bayes-odds combiner, under the same usenet
+dictionary attack.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.dictionary import UsenetDictionaryAttack
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import PAPER_PROFILE, SMALL_PROFILE
+from repro.experiments.crossval import (
+    attack_message_count,
+    evaluate_dataset,
+    train_grouped,
+)
+from repro.experiments.reporting import format_table
+from repro.rng import SeedSpawner
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.graham import GrahamClassifier
+
+
+def _run(scale: str):
+    if scale == "paper":
+        corpus = TrecStyleCorpus.generate(
+            n_ham=6_000, n_spam=6_000, profile=PAPER_PROFILE, seed=18
+        )
+        inbox_size = 10_000
+    else:
+        corpus = TrecStyleCorpus.generate(
+            n_ham=700, n_spam=700, profile=SMALL_PROFILE, seed=18
+        )
+        inbox_size = 1_000
+    spawner = SeedSpawner(18).spawn("ablation-combiners")
+    inbox = corpus.dataset.sample_inbox(inbox_size, 0.5, spawner.rng("inbox"))
+    inbox.tokenize_all()
+    inbox_ids = {m.msgid for m in inbox}
+    held_out = [m for m in corpus.dataset if m.msgid not in inbox_ids][:300]
+    attack = UsenetDictionaryAttack.from_vocabulary(corpus.vocabulary)
+
+    combiners = {
+        "robinson-fisher (SpamBayes)": Classifier(),
+        "graham-2002 (naive bayes odds)": GrahamClassifier(),
+    }
+    rows = []
+    damage = {}
+    for name, classifier in combiners.items():
+        train_grouped(classifier, inbox)
+        clean = evaluate_dataset(classifier, held_out)
+        for fraction in (0.01, 0.05):
+            working = classifier.copy()
+            count = attack_message_count(inbox_size, fraction)
+            attack.generate(count, spawner.rng(f"{name}:{fraction}")).train_into(working)
+            attacked = evaluate_dataset(working, held_out)
+            rows.append(
+                [
+                    name,
+                    f"{fraction:.0%}",
+                    f"{clean.ham_misclassified_rate:.1%}",
+                    f"{attacked.ham_as_spam_rate:.1%}",
+                    f"{attacked.ham_misclassified_rate:.1%}",
+                    f"{attacked.spam_as_spam_rate:.1%}",
+                ]
+            )
+            damage[(name, fraction)] = (
+                attacked.ham_as_spam_rate,
+                attacked.ham_misclassified_rate,
+            )
+    return rows, damage
+
+
+def bench_ablation_combiners(benchmark, artifacts, scale):
+    rows, damage = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+
+    fisher = "robinson-fisher (SpamBayes)"
+    graham = "graham-2002 (naive bayes odds)"
+    # Section 7 claim: both combiners are substantially poisoned (clean
+    # rates are ~0, attacked rates are tens of percent)...
+    for (name, fraction), (as_spam, lost) in damage.items():
+        assert lost > 0.15, f"{name} resisted at {fraction:.0%}"
+    # ...but they fail differently: Fisher's unsure band floods (more
+    # total ham lost), while Graham's hard 0.99-clamped odds jump
+    # straight to spam verdicts (more outright false positives at 1%).
+    assert damage[(fisher, 0.05)][1] > damage[(graham, 0.05)][1]
+    assert damage[(graham, 0.01)][0] > damage[(fisher, 0.01)][0]
+
+    table = format_table(
+        [
+            "combiner",
+            "attack",
+            "clean ham lost",
+            "ham-as-spam",
+            "ham lost",
+            "spam caught",
+        ],
+        rows,
+    )
+    artifacts.add(
+        "ablation-combiners",
+        f"E-A8 combiner ablation (scale={scale}, usenet dictionary attack)\n\n{table}"
+        + "\n\nreading: the poisoned quantity is the per-token statistic, which both"
+        + "\nRobinson/Fisher and Graham-style combiners consume — the attack"
+        + "\ntransfers across combining rules (the paper's Section 7 claim about"
+        + "\nBogoFilter / SpamAssassin-Bayes). The failure *mode* differs: Fisher"
+        + "\nfloods the unsure band, while Graham's clamped odds convert the same"
+        + "\npoison directly into ham-as-spam false positives.",
+    )

@@ -1,0 +1,87 @@
+"""E-P1 — engine throughput benchmarks (ours, not a paper artifact).
+
+Real pytest-benchmark measurements of the hot paths: tokenization,
+incremental training, classification, and the batched dictionary-
+attack learning that makes paper-scale sweeps tractable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import SMALL_PROFILE
+from repro.corpus.wordlists import build_usenet_wordlist
+from repro.rng import SeedSpawner
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.tokenizer import DEFAULT_TOKENIZER
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return TrecStyleCorpus.generate(n_ham=300, n_spam=300, profile=SMALL_PROFILE, seed=8)
+
+
+@pytest.fixture(scope="module")
+def trained(corpus):
+    classifier = Classifier()
+    for message in corpus.dataset:
+        classifier.learn(message.tokens(), message.is_spam)
+    return classifier
+
+
+def bench_tokenize_email(benchmark, corpus):
+    email = corpus.dataset.ham[0].email
+    tokens = benchmark(DEFAULT_TOKENIZER.tokenize, email)
+    assert tokens
+
+
+def bench_learn_one_message(benchmark, corpus):
+    tokens = corpus.dataset.ham[0].tokens()
+
+    def learn_and_unlearn():
+        classifier = Classifier()
+        classifier.learn(tokens, False)
+        return classifier
+
+    assert benchmark(learn_and_unlearn).nham == 1
+
+
+def bench_classify_message(benchmark, corpus, trained):
+    tokens = corpus.dataset.ham[1].tokens()
+    score = benchmark(trained.score, tokens)
+    assert 0.0 <= score <= 1.0
+
+
+def bench_classify_after_attack(benchmark, corpus, trained):
+    """Scoring against a poisoned vocabulary (bigger candidate set)."""
+    attacked = trained.copy()
+    usenet = build_usenet_wordlist(corpus.vocabulary)
+    attacked.learn_repeated(frozenset(usenet.words), True, 10)
+    tokens = corpus.dataset.ham[2].tokens()
+    score = benchmark(attacked.score, tokens)
+    assert score > 0.0
+
+
+def bench_dictionary_batch_learning(benchmark, corpus):
+    """learn_repeated over a 9,000-word dictionary — the operation that
+    replaces thousands of per-message updates in attack sweeps."""
+    usenet = frozenset(build_usenet_wordlist(corpus.vocabulary).words)
+
+    def learn_batch():
+        classifier = Classifier()
+        classifier.learn_repeated(usenet, True, 100)
+        return classifier
+
+    assert benchmark(learn_batch).nspam == 100
+
+
+def bench_corpus_generation(benchmark):
+    corpus = benchmark.pedantic(
+        lambda: TrecStyleCorpus.generate(
+            n_ham=200, n_spam=200, profile=SMALL_PROFILE, seed=9
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(corpus.dataset) == 400

@@ -1,0 +1,61 @@
+"""Benchmark harness plumbing.
+
+Every figure/table benchmark renders its result (data table + ASCII
+figure + paper comparison) through the ``artifacts`` fixture.  Rendered
+artifacts are written to ``benchmarks/results/<name>.txt`` and echoed
+into the terminal summary — which pytest does *not* capture — so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+produces a self-contained reproduction record.
+
+Scale is selected with the ``REPRO_SCALE`` environment variable:
+
+* ``small`` (default) — 1/10-scale corpora, minutes for the whole run;
+* ``paper`` — Table 1 sizes (10,000-message inboxes, 10-fold CV);
+  expect a multi-hour run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_collected: list[tuple[str, str]] = []
+
+
+def repro_scale() -> str:
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_SCALE must be 'small' or 'paper', got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return repro_scale()
+
+
+class ArtifactSink:
+    """Records rendered experiment artifacts for the terminal summary."""
+
+    def add(self, name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        _collected.append((name, text))
+
+
+@pytest.fixture(scope="session")
+def artifacts() -> ArtifactSink:
+    return ArtifactSink()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.write_sep("=", "reproduction artifacts")
+    for name, text in _collected:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The Section 2.1 deployment loop, played out over eight weeks.
+
+An organization retrains its filter weekly on all received mail.  In
+week 4 a spammer starts mailing a dozen dictionary-attack emails per
+week.  We run the loop twice — undefended, then with a RONI gate that
+is recalibrated each week on previously accepted mail — and print the
+filter's held-out accuracy week by week.
+
+Run:  python examples/retraining_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.experiments.retraining import RetrainingConfig, run_retraining_simulation
+
+
+def run(defense: str):
+    config = RetrainingConfig(
+        weeks=8,
+        ham_per_week=60,
+        spam_per_week=60,
+        attack_start_week=4,
+        attack_per_week=12,
+        defense=defense,
+        seed=99,
+    )
+    return run_retraining_simulation(config)
+
+
+def main() -> None:
+    undefended = run("none")
+    defended = run("roni")
+
+    rows = []
+    for u_week, d_week in zip(undefended.weeks, defended.weeks):
+        rows.append(
+            [
+                u_week.week,
+                u_week.attack_sent,
+                f"{u_week.confusion.ham_misclassified_rate:.0%}",
+                f"{d_week.confusion.ham_misclassified_rate:.0%}",
+                f"{d_week.attack_rejected}/{d_week.attack_sent}",
+                d_week.legitimate_rejected,
+            ]
+        )
+    print("weekly retraining under a dictionary attack (attack starts week 4):\n")
+    print(
+        format_table(
+            [
+                "week",
+                "attack emails sent",
+                "ham lost (no defense)",
+                "ham lost (RONI)",
+                "attack rejected (RONI)",
+                "legit rejected (RONI)",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\nafter week 8: undefended filter loses "
+        f"{undefended.final_ham_misclassification():.0%} of ham; "
+        f"RONI-gated filter loses {defended.final_ham_misclassification():.0%}."
+        "\nThe attack compounds across retrains unless each batch is screened —"
+        "\nexactly why the paper frames RONI as a training-pipeline defense."
+    )
+
+
+if __name__ == "__main__":
+    main()

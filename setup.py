@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only
+enables ``pip install -e . --no-build-isolation --no-use-pep517`` in
+offline environments where PEP-517 editable installs cannot build a
+wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""Score-distribution analysis: histograms, ROC curves, AUC.
+
+The dynamic threshold defense (Section 5.2) rests on one claim:
+*rankings survive score-shifting attacks* even when the absolute
+scores are ruined.  Ranking quality is exactly what a ROC curve
+measures, so this module provides the tooling to check the claim
+directly: compute the ROC of ham-vs-spam scores before and after an
+attack and compare the areas.  Used by the score-distribution
+benchmark and available for ad-hoc analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["RocCurve", "score_histogram", "roc_curve", "auc"]
+
+
+def score_histogram(scores: Sequence[float], bins: int = 20) -> list[int]:
+    """Histogram of scores over [0, 1] with ``bins`` equal buckets."""
+    if bins < 1:
+        raise ExperimentError(f"bins must be >= 1, got {bins}")
+    counts = [0] * bins
+    for score in scores:
+        if not 0.0 <= score <= 1.0:
+            raise ExperimentError(f"score {score} outside [0, 1]")
+        counts[min(bins - 1, int(score * bins))] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A ROC curve for "spam score separates spam from ham".
+
+    ``points`` are (false-positive-rate, true-positive-rate) pairs,
+    ordered by increasing threshold leniency; "positive" = spam.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve by trapezoidal rule (0.5 = useless,
+        1.0 = perfect ranking)."""
+        area = 0.0
+        for (x0, y0), (x1, y1) in zip(self.points, self.points[1:]):
+            area += (x1 - x0) * (y0 + y1) / 2.0
+        return area
+
+
+def roc_curve(ham_scores: Sequence[float], spam_scores: Sequence[float]) -> RocCurve:
+    """ROC of classifying spam by thresholding the message score.
+
+    Sweeps the threshold over every distinct observed score; a message
+    is called spam when its score exceeds the threshold.
+    """
+    if not ham_scores or not spam_scores:
+        raise ExperimentError("roc_curve needs both ham and spam scores")
+    ham_sorted = sorted(ham_scores)
+    spam_sorted = sorted(spam_scores)
+    thresholds = sorted(set(ham_sorted) | set(spam_sorted))
+    points: list[tuple[float, float]] = [(0.0, 0.0)]
+    n_ham, n_spam = len(ham_sorted), len(spam_sorted)
+    # Descending threshold: start strict (nothing called spam), loosen.
+    for threshold in reversed(thresholds):
+        false_positives = sum(1 for s in ham_sorted if s >= threshold)
+        true_positives = sum(1 for s in spam_sorted if s >= threshold)
+        points.append((false_positives / n_ham, true_positives / n_spam))
+    points.append((1.0, 1.0))
+    # De-duplicate while preserving order.
+    deduped: list[tuple[float, float]] = []
+    for point in points:
+        if not deduped or point != deduped[-1]:
+            deduped.append(point)
+    return RocCurve(tuple(deduped))
+
+
+def auc(ham_scores: Sequence[float], spam_scores: Sequence[float]) -> float:
+    """Convenience: AUC of :func:`roc_curve` (equals the probability a
+    random spam outscores a random ham, ties at half weight)."""
+    return roc_curve(ham_scores, spam_scores).auc

@@ -1,0 +1,142 @@
+"""Figure 4: per-token score movement under a focused attack.
+
+For one target email, compare every token's smoothed spam score f(w)
+(Equation 2) before and after training on the attack batch.  The
+paper's reading of the three panels: tokens *included* in the attack
+jump far up (many to ~1.0); tokens *not included* drift slightly down
+(the attack grows NS, diluting their spam ratio); whether the target
+ends up spam/unsure/ham depends on how much of it the attacker
+guessed.
+
+The analysis trains the batch into the supplied classifier, snapshots
+scores, and untrains it — the classifier comes back bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.analysis.plots import ascii_scatter
+from repro.attacks.base import AttackBatch
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.filter import Label
+from repro.spambayes.message import Email
+from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
+
+__all__ = ["TokenShift", "TokenShiftReport", "token_shift_analysis"]
+
+
+@dataclass(frozen=True, slots=True)
+class TokenShift:
+    """One token's before/after smoothed spam score."""
+
+    token: str
+    before: float
+    after: float
+    included: bool
+    """Whether the token was part of the attack payload."""
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+
+@dataclass
+class TokenShiftReport:
+    """All token shifts for one target, plus message-level outcomes."""
+
+    target_msgid: str
+    shifts: list[TokenShift]
+    score_before: float
+    score_after: float
+    label_before: Label
+    label_after: Label
+
+    @property
+    def included_shifts(self) -> list[TokenShift]:
+        return [shift for shift in self.shifts if shift.included]
+
+    @property
+    def excluded_shifts(self) -> list[TokenShift]:
+        return [shift for shift in self.shifts if not shift.included]
+
+    def mean_delta(self, included: bool) -> float:
+        shifts = self.included_shifts if included else self.excluded_shifts
+        if not shifts:
+            return 0.0
+        return sum(shift.delta for shift in shifts) / len(shifts)
+
+    def histogram(self, after: bool, bins: int = 10) -> list[int]:
+        """Score histogram before or after the attack (Figure 4 margins)."""
+        counts = [0] * bins
+        for shift in self.shifts:
+            value = shift.after if after else shift.before
+            index = min(bins - 1, int(value * bins))
+            counts[index] += 1
+        return counts
+
+    def render(self, width: int = 48, height: int = 24) -> str:
+        """ASCII rendition of this target's Figure 4 panel."""
+        chart = ascii_scatter(
+            [(shift.before, shift.after, shift.included) for shift in self.shifts],
+            width=width,
+            height=height,
+            title=(
+                f"target {self.target_msgid}: {self.label_before.value} -> "
+                f"{self.label_after.value} "
+                f"(score {self.score_before:.3f} -> {self.score_after:.3f})"
+            ),
+            x_label="token score before attack",
+            y_label="token score after attack",
+        )
+        before_hist = " ".join(f"{count:3d}" for count in self.histogram(after=False))
+        after_hist = " ".join(f"{count:3d}" for count in self.histogram(after=True))
+        return f"{chart}\n  score hist before: {before_hist}\n  score hist after : {after_hist}"
+
+
+def token_shift_analysis(
+    classifier: Classifier,
+    target: Email,
+    batch: AttackBatch,
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+) -> TokenShiftReport:
+    """Measure per-token score shifts of ``target`` under ``batch``.
+
+    ``classifier`` must hold the clean (pre-attack) training state; it
+    is restored exactly before returning.
+    """
+    target_tokens = sorted(frozenset(tokenizer.tokenize(target)))
+    attack_tokens = batch.distinct_tokens
+    before = {token: classifier.spam_prob(token) for token in target_tokens}
+    score_before = classifier.score(target_tokens)
+    label_before = _label(classifier, score_before)
+    batch.train_into(classifier)
+    try:
+        shifts = [
+            TokenShift(
+                token=token,
+                before=before[token],
+                after=classifier.spam_prob(token),
+                included=token in attack_tokens,
+            )
+            for token in target_tokens
+        ]
+        score_after = classifier.score(target_tokens)
+        label_after = _label(classifier, score_after)
+    finally:
+        batch.untrain_from(classifier)
+    return TokenShiftReport(
+        target_msgid=target.msgid,
+        shifts=shifts,
+        score_before=score_before,
+        score_after=score_after,
+        label_before=label_before,
+        label_after=label_after,
+    )
+
+
+def _label(classifier: Classifier, score: float) -> Label:
+    if score <= classifier.options.ham_cutoff:
+        return Label.HAM
+    if score <= classifier.options.spam_cutoff:
+        return Label.UNSURE
+    return Label.SPAM

@@ -1,0 +1,146 @@
+"""Attack interfaces and the batched payload representation.
+
+The experiment harness trains attacks by *token set*, not by rendered
+email text: a 10% dictionary attack at paper scale is ~1,100 identical
+messages of ~90,000 tokens each, and materializing megabyte bodies for
+them would dominate every run.  :class:`AttackBatch` therefore groups
+identical payloads — ``(tokens, count)`` pairs — which both
+``Classifier.learn_repeated`` and the defenses consume directly.
+Rendered :class:`Email` objects remain available through
+:meth:`AttackBatch.iter_emails` for demos, mbox export and the RONI
+experiments, which need real messages.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.attacks.payload import HeaderPolicy, render_attack_email
+from repro.attacks.taxonomy import AttackTaxonomy
+from repro.errors import AttackError
+from repro.spambayes.message import Email
+
+__all__ = ["AttackMessageGroup", "AttackBatch", "Attack"]
+
+
+@dataclass(frozen=True)
+class AttackMessageGroup:
+    """``count`` identical attack messages sharing one token payload.
+
+    ``header_tokens`` are trained alongside the body payload (the
+    focused attack reuses real spam headers); they are kept separate so
+    analysis can distinguish attacker-chosen words from header noise.
+    """
+
+    tokens: frozenset[str]
+    count: int
+    header_tokens: frozenset[str] = frozenset()
+    header_source: Email | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise AttackError(f"attack message group needs count >= 1, got {self.count}")
+
+    @property
+    def training_tokens(self) -> frozenset[str]:
+        """The full token set one trained attack message contributes."""
+        if not self.header_tokens:
+            return self.tokens
+        return self.tokens | self.header_tokens
+
+
+class AttackBatch:
+    """An ordered collection of attack message groups.
+
+    The batch for ``count`` dictionary-attack emails is a single group;
+    the batch for a focused attack is ``count`` groups of one (each
+    email carries a different stolen spam header).
+    """
+
+    def __init__(self, attack_name: str, groups: Sequence[AttackMessageGroup]) -> None:
+        self.attack_name = attack_name
+        self.groups = list(groups)
+
+    @property
+    def message_count(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    @property
+    def distinct_tokens(self) -> frozenset[str]:
+        """Union of all body-payload tokens across the batch."""
+        tokens: set[str] = set()
+        for group in self.groups:
+            tokens |= group.tokens
+        return frozenset(tokens)
+
+    def token_occurrences(self) -> int:
+        """Total trained token occurrences (the paper's "6.4x as many
+        tokens as the original dataset" accounting in Section 4.2)."""
+        return sum(len(group.training_tokens) * group.count for group in self.groups)
+
+    def train_into(self, classifier) -> None:
+        """Train every message of the batch as spam into ``classifier``.
+
+        ``classifier`` is anything with ``learn_repeated(tokens,
+        is_spam, count)`` — the contamination assumption trains attack
+        email as spam, never ham (Section 2.2).
+        """
+        for group in self.groups:
+            classifier.learn_repeated(group.training_tokens, True, group.count)
+
+    def untrain_from(self, classifier) -> None:
+        """Reverse :meth:`train_into` on the same classifier."""
+        for group in self.groups:
+            classifier.unlearn_repeated(group.training_tokens, True, group.count)
+
+    def iter_emails(self, start_index: int = 0) -> Iterator[Email]:
+        """Render every message in the batch as a real :class:`Email`."""
+        index = start_index
+        for group in self.groups:
+            for _ in range(group.count):
+                yield render_attack_email(
+                    sorted(group.tokens),
+                    msgid=f"attack-{self.attack_name}-{index:06d}",
+                    header_source=group.header_source,
+                )
+                index += 1
+
+    def __len__(self) -> int:
+        return self.message_count
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackBatch({self.attack_name!r}, messages={self.message_count}, "
+            f"groups={len(self.groups)}, distinct_tokens={len(self.distinct_tokens)})"
+        )
+
+
+class Attack(abc.ABC):
+    """Interface all attacks implement.
+
+    An attack is a *message factory*: given a count and an RNG it emits
+    the spam-labeled messages the adversary would send.  Attacks carry
+    their Section 3.1 taxonomy coordinates for reporting.
+    """
+
+    name: str = "attack"
+
+    @property
+    @abc.abstractmethod
+    def taxonomy(self) -> AttackTaxonomy:
+        """Where this attack sits in the Section 3.1 taxonomy."""
+
+    @property
+    @abc.abstractmethod
+    def header_policy(self) -> HeaderPolicy:
+        """How attack emails obtain headers (Section 4.1 restriction)."""
+
+    @abc.abstractmethod
+    def generate(self, count: int, rng: random.Random) -> AttackBatch:
+        """Produce ``count`` attack messages."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

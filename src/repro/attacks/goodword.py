@@ -1,0 +1,166 @@
+"""Good-word attacks: the Exploratory/Integrity quadrant.
+
+The paper's taxonomy (Section 3.1) spans more than its own two
+attacks.  Its related work (Section 6) contrasts them with the classic
+*Exploratory Integrity* attacks — Lowd & Meek's "good word attacks"
+and Wittel & Wu's common-word padding — where the adversary does NOT
+touch training, but pads spam with hammy words so it slips past the
+trained filter as a false negative.
+
+Implementing that quadrant here serves two purposes: it completes the
+taxonomy as runnable code, and it gives the defenses benchmarks an
+Integrity-attack baseline to contrast with the paper's Availability
+attacks (RONI, for instance, is a *training-time* gate and has no
+purchase on an attack that never trains).
+
+Two knowledge models are provided, mirroring Lowd & Meek:
+
+* :class:`CommonWordGoodWordAttack` — *blind*: pad with words the
+  attacker guesses are common in legitimate mail (e.g. a frequency-
+  ranked word source), no filter access needed (Wittel & Wu).
+* :class:`OracleGoodWordAttack` — *query access*: the attacker can ask
+  the deployed filter for token scores (or infer them through
+  classification queries) and picks the hammiest known tokens first
+  (Lowd & Meek's setting, idealized to direct score queries).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.attacks.taxonomy import AttackTaxonomy, Influence, SecurityViolation, Specificity
+from repro.errors import AttackError
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.message import Email
+from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
+
+__all__ = [
+    "GoodWordResult",
+    "CommonWordGoodWordAttack",
+    "OracleGoodWordAttack",
+    "GOODWORD_TAXONOMY",
+]
+
+GOODWORD_TAXONOMY = AttackTaxonomy(
+    Influence.EXPLORATORY, SecurityViolation.INTEGRITY, Specificity.TARGETED
+)
+"""Good-word attacks probe a fixed filter to sneak specific spam in."""
+
+
+@dataclass(frozen=True)
+class GoodWordResult:
+    """One padded spam message and its bookkeeping."""
+
+    original: Email
+    padded: Email
+    added_words: tuple[str, ...]
+
+    @property
+    def word_cost(self) -> int:
+        """How many words the attacker had to add."""
+        return len(self.added_words)
+
+
+def _pad_email(original: Email, words: Sequence[str]) -> Email:
+    """Append the good words as an extra paragraph of the body."""
+    if not words:
+        return original
+    padding = " ".join(words)
+    body = f"{original.body}\n\n{padding}" if original.body else padding
+    return Email(body=body, headers=list(original.headers), msgid=original.msgid)
+
+
+class CommonWordGoodWordAttack:
+    """Pad spam with words presumed common in legitimate email.
+
+    The attacker holds an ordered word source (most-promising first,
+    e.g. a Usenet frequency list) and no access to the victim's filter.
+    """
+
+    name = "goodword-common"
+
+    def __init__(self, word_source: Iterable[str]) -> None:
+        self.words = tuple(word_source)
+        if not self.words:
+            raise AttackError("good-word attack needs a non-empty word source")
+
+    @property
+    def taxonomy(self) -> AttackTaxonomy:
+        return GOODWORD_TAXONOMY
+
+    def pad(self, spam: Email, word_count: int, rng: random.Random | None = None) -> GoodWordResult:
+        """Pad ``spam`` with ``word_count`` words from the source head.
+
+        ``rng`` (optional) samples from the head with some spread so
+        repeated attack emails are not byte-identical; deterministic
+        head-take when omitted.
+        """
+        if word_count < 0:
+            raise AttackError(f"word_count must be >= 0, got {word_count}")
+        if word_count == 0:
+            return GoodWordResult(spam, spam, ())
+        if rng is None:
+            chosen = self.words[:word_count]
+        else:
+            head = self.words[: max(word_count * 4, word_count)]
+            chosen = tuple(rng.sample(head, min(word_count, len(head))))
+        return GoodWordResult(spam, _pad_email(spam, chosen), tuple(chosen))
+
+
+class OracleGoodWordAttack:
+    """Pad spam with the hammiest tokens the oracle reveals.
+
+    Models a Lowd-&-Meek attacker who can learn token scores from the
+    deployed filter.  ``candidate_words`` bounds the attacker's
+    querying budget: only those words are scored and ranked.
+    """
+
+    name = "goodword-oracle"
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        candidate_words: Iterable[str],
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+    ) -> None:
+        self.classifier = classifier
+        self.tokenizer = tokenizer
+        candidates = set(candidate_words)
+        if not candidates:
+            raise AttackError("oracle good-word attack needs candidate words")
+        # Rank by spam score ascending: the best good word is the one
+        # the filter considers most hammy. Unknown words score 0.5 and
+        # are useless (δ(E) drops them), so they sort to the middle.
+        self._ranked = sorted(candidates, key=lambda w: (classifier.spam_prob(w), w))
+
+    @property
+    def taxonomy(self) -> AttackTaxonomy:
+        return GOODWORD_TAXONOMY
+
+    @property
+    def ranked_words(self) -> list[str]:
+        return list(self._ranked)
+
+    def pad(self, spam: Email, word_count: int) -> GoodWordResult:
+        """Pad ``spam`` with the ``word_count`` hammiest known words."""
+        if word_count < 0:
+            raise AttackError(f"word_count must be >= 0, got {word_count}")
+        chosen = tuple(self._ranked[:word_count])
+        return GoodWordResult(spam, _pad_email(spam, chosen), chosen)
+
+    def words_to_evade(self, spam: Email, max_words: int = 1_000, step: int = 10) -> GoodWordResult | None:
+        """Smallest padding (within ``max_words``) that flips the filter
+        away from a spam verdict; None when the budget is insufficient.
+
+        This is the Lowd-&-Meek cost metric: "how many good words does
+        this spam need?".
+        """
+        spam_cutoff = self.classifier.options.spam_cutoff
+        for count in range(0, max_words + 1, step):
+            result = self.pad(spam, count)
+            score = self.classifier.score(self.tokenizer.tokenize(result.padded))
+            if score <= spam_cutoff:
+                return result
+        return None

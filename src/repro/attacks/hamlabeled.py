@@ -1,0 +1,93 @@
+"""Ham-labeled contamination: the paper's Section 2.2 extension.
+
+The paper restricts its attacks to spam-labeled training data and
+notes that this is "a restriction and not a necessary condition ...
+using ham-labeled attack emails could enable more powerful attacks
+that place spam in a user's inbox."  This module implements that
+extension as a *Causative Integrity* attack so the claim is testable:
+
+the attacker arranges for messages full of spam vocabulary to be
+trained as **ham** — e.g. by sending borderline messages a user
+rescues from the spam folder, or abusing an organization's
+train-on-everything pipeline with spoofed internal mail.  Every
+spam-typical token's score is dragged down, and future spam slides
+under the ham threshold as false negatives.
+
+The mechanics mirror :class:`~repro.attacks.dictionary.DictionaryAttack`
+with the label flipped, so the same batching machinery applies; a
+dedicated ``train_into`` keeps callers from accidentally training it
+as spam.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.attacks.base import AttackBatch, AttackMessageGroup
+from repro.attacks.payload import HeaderPolicy
+from repro.attacks.taxonomy import AttackTaxonomy, Influence, SecurityViolation, Specificity
+from repro.corpus.vocabulary import Vocabulary
+from repro.errors import AttackError
+
+__all__ = ["HamLabeledAttack", "HamLabeledBatch", "HAMLABELED_TAXONOMY"]
+
+HAMLABELED_TAXONOMY = AttackTaxonomy(
+    Influence.CAUSATIVE, SecurityViolation.INTEGRITY, Specificity.INDISCRIMINATE
+)
+"""Poisons training to create false negatives across all spam."""
+
+
+class HamLabeledBatch(AttackBatch):
+    """An attack batch whose messages are trained as *ham*."""
+
+    def train_into(self, classifier) -> None:
+        for group in self.groups:
+            classifier.learn_repeated(group.training_tokens, False, group.count)
+
+    def untrain_from(self, classifier) -> None:
+        for group in self.groups:
+            classifier.unlearn_repeated(group.training_tokens, False, group.count)
+
+
+class HamLabeledAttack:
+    """Inject ham-labeled messages carrying spam vocabulary.
+
+    ``words`` is the vocabulary to whitewash — typically the spam-
+    typical tokens the attacker wants the filter to forgive (their own
+    product names, obfuscations, campaign wording).
+    """
+
+    name = "ham-labeled"
+
+    def __init__(self, words: Iterable[str], name: str = "ham-labeled") -> None:
+        self.tokens = frozenset(words)
+        if not self.tokens:
+            raise AttackError("ham-labeled attack needs a non-empty word set")
+        self.name = name
+
+    @property
+    def taxonomy(self) -> AttackTaxonomy:
+        return HAMLABELED_TAXONOMY
+
+    @property
+    def header_policy(self) -> HeaderPolicy:
+        return HeaderPolicy.EMPTY
+
+    @classmethod
+    def from_vocabulary(cls, vocabulary: Vocabulary) -> "HamLabeledAttack":
+        """Whitewash every spam-typical token of the universe."""
+        return cls(
+            list(vocabulary.spam_shared) + list(vocabulary.spam_unlisted),
+            name="ham-labeled-spamvocab",
+        )
+
+    def generate(self, count: int, rng: random.Random) -> HamLabeledBatch:
+        """``count`` identical ham-labeled messages as one group."""
+        if count < 0:
+            raise AttackError(f"attack count must be >= 0, got {count}")
+        if count == 0:
+            return HamLabeledBatch(self.name, [])
+        return HamLabeledBatch(
+            self.name, [AttackMessageGroup(tokens=self.tokens, count=count)]
+        )

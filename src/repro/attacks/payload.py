@@ -1,0 +1,66 @@
+"""Rendering attack payloads as real emails.
+
+Section 4.1 restricts the attacker's header control: dictionary
+attacks use an *empty header*, and the focused attack reuses *the
+entire header of a randomly selected spam email*.  This module encodes
+those two policies and turns a token payload into a deliverable
+:class:`Email`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Sequence
+
+from repro.errors import AttackError
+from repro.spambayes.message import Email
+
+__all__ = ["HeaderPolicy", "render_attack_email", "choose_header_source"]
+
+_LINE_WIDTH = 72
+
+
+class HeaderPolicy(enum.Enum):
+    """How an attack email's header block is produced."""
+
+    EMPTY = "empty"
+    """No headers at all — the dictionary-attack setting."""
+
+    RANDOM_SPAM = "random-spam"
+    """Copy the full header block of a randomly chosen real spam —
+    the focused-attack setting."""
+
+
+def choose_header_source(spam_pool: Sequence[Email], rng: random.Random) -> Email:
+    """Pick the spam message whose headers an attack email will wear."""
+    if not spam_pool:
+        raise AttackError("header policy RANDOM_SPAM needs a non-empty spam pool")
+    return rng.choice(spam_pool)
+
+
+def render_attack_email(
+    payload_words: Sequence[str],
+    msgid: str,
+    header_source: Email | None = None,
+) -> Email:
+    """Materialize an attack message from its payload words.
+
+    The body is simply the payload words wrapped to 72 columns — the
+    paper's attack emails are word soup by construction.  When
+    ``header_source`` is given its header block is copied verbatim
+    (RANDOM_SPAM policy); otherwise the email has no headers (EMPTY).
+    """
+    lines: list[str] = []
+    current: list[str] = []
+    width = 0
+    for word in payload_words:
+        if width + len(word) + 1 > _LINE_WIDTH and current:
+            lines.append(" ".join(current))
+            current, width = [], 0
+        current.append(word)
+        width += len(word) + 1
+    if current:
+        lines.append(" ".join(current))
+    headers = list(header_source.iter_headers()) if header_source is not None else []
+    return Email(body="\n".join(lines), headers=headers, msgid=msgid)

@@ -1,0 +1,71 @@
+"""The attack taxonomy of Section 3.1 (Barreno et al. 2006).
+
+Attacks on machine learning systems are categorized along three axes:
+
+Influence
+    *Causative* attacks manipulate training data; *Exploratory* attacks
+    only probe a fixed classifier.
+
+Security violation
+    *Integrity* attacks create false negatives (spam slips through);
+    *Availability* attacks create false positives (ham is filtered).
+
+Specificity
+    *Targeted* attacks degrade the classifier on one particular kind of
+    email; *Indiscriminate* attacks degrade it broadly.
+
+The paper's two attacks are both Causative Availability attacks —
+dictionary attacks are Indiscriminate, the focused attack is Targeted.
+Keeping the taxonomy as data (rather than prose) lets tests assert
+each attack's position and lets reports label results consistently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Influence", "SecurityViolation", "Specificity", "AttackTaxonomy"]
+
+
+class Influence(enum.Enum):
+    CAUSATIVE = "causative"
+    EXPLORATORY = "exploratory"
+
+
+class SecurityViolation(enum.Enum):
+    INTEGRITY = "integrity"
+    AVAILABILITY = "availability"
+
+
+class Specificity(enum.Enum):
+    TARGETED = "targeted"
+    INDISCRIMINATE = "indiscriminate"
+
+
+@dataclass(frozen=True, slots=True)
+class AttackTaxonomy:
+    """One attack's coordinates along the three axes."""
+
+    influence: Influence
+    violation: SecurityViolation
+    specificity: Specificity
+
+    def describe(self) -> str:
+        """Human-readable phrase, e.g. "Causative Availability attack
+        (Indiscriminate)"."""
+        return (
+            f"{self.influence.value.capitalize()} "
+            f"{self.violation.value.capitalize()} attack "
+            f"({self.specificity.value.capitalize()})"
+        )
+
+    @classmethod
+    def dictionary(cls) -> "AttackTaxonomy":
+        """Coordinates of the Section 3.2 dictionary attacks."""
+        return cls(Influence.CAUSATIVE, SecurityViolation.AVAILABILITY, Specificity.INDISCRIMINATE)
+
+    @classmethod
+    def focused(cls) -> "AttackTaxonomy":
+        """Coordinates of the Section 3.3 focused attack."""
+        return cls(Influence.CAUSATIVE, SecurityViolation.AVAILABILITY, Specificity.TARGETED)

@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure1 --scale small --seed 3
+    python -m repro figure2 figure3 roni
+    python -m repro all --out results/
+
+Each command runs the corresponding experiment driver, prints the
+rendered artifact (data table + ASCII figure), and — with ``--out`` —
+also writes the text and a machine-readable JSON record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.dictionary_exp import (
+    DictionaryExperimentConfig,
+    run_dictionary_experiment,
+)
+from repro.experiments.focused_exp import (
+    FocusedExperimentConfig,
+    run_focused_knowledge_experiment,
+    run_focused_size_experiment,
+)
+from repro.experiments.reporting import (
+    render_dictionary_result,
+    render_focused_knowledge_result,
+    render_focused_size_result,
+    render_roni_result,
+    render_table1,
+    render_threshold_result,
+)
+from repro.experiments.results import save_record
+from repro.experiments.roni_exp import RoniExperimentConfig, run_roni_experiment
+from repro.experiments.threshold_exp import (
+    ThresholdExperimentConfig,
+    run_threshold_experiment,
+)
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _dictionary_config(scale: str, seed: int) -> DictionaryExperimentConfig:
+    if scale == "paper":
+        return DictionaryExperimentConfig.paper_scale(seed=seed)
+    return DictionaryExperimentConfig(
+        inbox_size=1_000, folds=3, corpus_ham=700, corpus_spam=700, seed=seed
+    )
+
+
+def _focused_config(scale: str, seed: int) -> FocusedExperimentConfig:
+    if scale == "paper":
+        return FocusedExperimentConfig.paper_scale(seed=seed)
+    return FocusedExperimentConfig(
+        inbox_size=1_000,
+        n_targets=10,
+        repetitions=2,
+        attack_count=60,
+        corpus_ham=700,
+        corpus_spam=700,
+        seed=seed,
+    )
+
+
+def _roni_config(scale: str, seed: int) -> RoniExperimentConfig:
+    if scale == "paper":
+        return RoniExperimentConfig(
+            pool_size=1_000,
+            n_nonattack_spam=120,
+            repetitions_per_variant=15,
+            corpus_ham=1_200,
+            corpus_spam=1_200,
+            seed=seed,
+        )
+    return RoniExperimentConfig(
+        pool_size=400,
+        n_nonattack_spam=60,
+        repetitions_per_variant=6,
+        corpus_ham=400,
+        corpus_spam=400,
+        seed=seed,
+    )
+
+
+def _threshold_config(scale: str, seed: int) -> ThresholdExperimentConfig:
+    if scale == "paper":
+        return ThresholdExperimentConfig.paper_scale(seed=seed)
+    return ThresholdExperimentConfig(
+        inbox_size=1_000, folds=3, corpus_ham=700, corpus_spam=700, seed=seed
+    )
+
+
+def _run_table1(scale: str, seed: int):
+    return None, render_table1(), None
+
+
+def _run_figure1(scale: str, seed: int):
+    result = run_dictionary_experiment(_dictionary_config(scale, seed))
+    return result, render_dictionary_result(result), result.to_record()
+
+
+def _run_figure2(scale: str, seed: int):
+    result = run_focused_knowledge_experiment(_focused_config(scale, seed))
+    return result, render_focused_knowledge_result(result), result.to_record()
+
+
+def _run_figure3(scale: str, seed: int):
+    result = run_focused_size_experiment(_focused_config(scale, seed))
+    return result, render_focused_size_result(result), result.to_record()
+
+
+def _run_roni(scale: str, seed: int):
+    result = run_roni_experiment(_roni_config(scale, seed))
+    return result, render_roni_result(result), result.to_record()
+
+
+def _run_figure5(scale: str, seed: int):
+    result = run_threshold_experiment(_threshold_config(scale, seed))
+    return result, render_threshold_result(result), result.to_record()
+
+
+ARTIFACTS: dict[str, Callable] = {
+    "table1": _run_table1,
+    "figure1": _run_figure1,
+    "figure2": _run_figure2,
+    "figure3": _run_figure3,
+    "roni": _run_roni,
+    "figure5": _run_figure5,
+}
+"""Artifact name -> runner. ("figure4" panels are produced by
+``benchmarks/bench_figure4_token_shift.py`` and the focused-attack
+example; they need no sweep, only a rendered analysis.)"""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from 'Exploiting Machine Learning "
+        "to Subvert Your Spam Filter' (Nelson et al., 2008).",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        choices=sorted(ARTIFACTS) + ["all"],
+        help="which paper artifacts to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="small = 1/10-scale (default, ~minutes); paper = Table 1 sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for .txt artifacts and .json records",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(ARTIFACTS) if "all" in args.artifacts else list(dict.fromkeys(args.artifacts))
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        runner = ARTIFACTS[name]
+        print(f"=== {name} (scale={args.scale}, seed={args.seed}) ===")
+        _, text, record = runner(args.scale, args.seed)
+        print(text)
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+            if record is not None:
+                save_record(record, args.out / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Labeled datasets: the unit the experiment harness manipulates.
+
+A :class:`Dataset` is an ordered collection of :class:`LabeledMessage`
+objects with the operations the paper's protocol needs:
+
+* *inbox sampling* — draw an N-message inbox with a given spam
+  prevalence (Table 1's "training set size" and "spam prevalence"),
+* *K-fold cross-validation* — partition into folds, yielding
+  train/test pairs (Section 4.1),
+* *token caching* — each message's token set is computed once and
+  shared by every fold, repetition and attack sweep that touches it.
+
+Datasets are cheap views: folds and samples share the underlying
+``LabeledMessage`` objects (and therefore the token cache).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import CorpusError
+from repro.spambayes.message import Email
+from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
+
+__all__ = ["LabeledMessage", "Dataset"]
+
+
+@dataclass(slots=True)
+class LabeledMessage:
+    """One email with its gold label and a cached token set."""
+
+    email: Email
+    is_spam: bool
+    _tokens: frozenset[str] | None = field(default=None, repr=False)
+
+    @property
+    def msgid(self) -> str:
+        return self.email.msgid
+
+    def tokens(self, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> frozenset[str]:
+        """The message's token set, computed once and cached.
+
+        The cache is keyed by nothing: all built-in experiments share
+        one tokenizer configuration. Call :meth:`invalidate_tokens`
+        first if you must re-tokenize with different options.
+        """
+        if self._tokens is None:
+            self._tokens = frozenset(tokenizer.tokenize(self.email))
+        return self._tokens
+
+    def invalidate_tokens(self) -> None:
+        self._tokens = None
+
+
+class Dataset:
+    """An ordered, labeled message collection with sampling utilities."""
+
+    def __init__(self, messages: Sequence[LabeledMessage], name: str = "dataset") -> None:
+        self._messages = list(messages)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[LabeledMessage]:
+        return iter(self._messages)
+
+    def __getitem__(self, index: int) -> LabeledMessage:
+        return self._messages[index]
+
+    @property
+    def messages(self) -> list[LabeledMessage]:
+        return self._messages
+
+    @property
+    def ham(self) -> list[LabeledMessage]:
+        return [m for m in self._messages if not m.is_spam]
+
+    @property
+    def spam(self) -> list[LabeledMessage]:
+        return [m for m in self._messages if m.is_spam]
+
+    @property
+    def spam_fraction(self) -> float:
+        if not self._messages:
+            return 0.0
+        return sum(1 for m in self._messages if m.is_spam) / len(self._messages)
+
+    def counts(self) -> tuple[int, int]:
+        """Return ``(n_ham, n_spam)``."""
+        n_spam = sum(1 for m in self._messages if m.is_spam)
+        return len(self._messages) - n_spam, n_spam
+
+    # ------------------------------------------------------------------
+    # Derived datasets
+    # ------------------------------------------------------------------
+
+    def subset(self, indices: Iterable[int], name: str | None = None) -> "Dataset":
+        """View over the messages at ``indices`` (shared objects)."""
+        return Dataset(
+            [self._messages[i] for i in indices],
+            name=name or f"{self.name}/subset",
+        )
+
+    def filtered(self, predicate: Callable[[LabeledMessage], bool]) -> "Dataset":
+        return Dataset([m for m in self._messages if predicate(m)], name=f"{self.name}/filtered")
+
+    def shuffled(self, rng: random.Random) -> "Dataset":
+        order = list(range(len(self._messages)))
+        rng.shuffle(order)
+        return self.subset(order, name=f"{self.name}/shuffled")
+
+    def sample_inbox(
+        self,
+        size: int,
+        spam_fraction: float,
+        rng: random.Random,
+        name: str | None = None,
+    ) -> "Dataset":
+        """Draw an inbox of ``size`` messages at the given prevalence.
+
+        Sampling is without replacement within each class; the class
+        counts are ``round(size * spam_fraction)`` spam and the rest
+        ham, matching the paper's "N-message inbox with 50% spam".
+        """
+        if not 0.0 <= spam_fraction <= 1.0:
+            raise CorpusError(f"spam_fraction must be in [0, 1], got {spam_fraction}")
+        n_spam = round(size * spam_fraction)
+        n_ham = size - n_spam
+        ham_pool, spam_pool = self.ham, self.spam
+        if n_ham > len(ham_pool):
+            raise CorpusError(
+                f"inbox needs {n_ham} ham but corpus has only {len(ham_pool)}"
+            )
+        if n_spam > len(spam_pool):
+            raise CorpusError(
+                f"inbox needs {n_spam} spam but corpus has only {len(spam_pool)}"
+            )
+        picked = rng.sample(ham_pool, n_ham) + rng.sample(spam_pool, n_spam)
+        rng.shuffle(picked)
+        return Dataset(picked, name=name or f"{self.name}/inbox{size}")
+
+    def split(self, first_fraction: float, rng: random.Random) -> tuple["Dataset", "Dataset"]:
+        """Random partition into two datasets (used by the threshold defense)."""
+        if not 0.0 < first_fraction < 1.0:
+            raise CorpusError(f"first_fraction must be in (0, 1), got {first_fraction}")
+        order = list(range(len(self._messages)))
+        rng.shuffle(order)
+        cut = round(len(order) * first_fraction)
+        return (
+            self.subset(order[:cut], name=f"{self.name}/split-a"),
+            self.subset(order[cut:], name=f"{self.name}/split-b"),
+        )
+
+    def k_folds(
+        self, k: int, rng: random.Random
+    ) -> Iterator[tuple["Dataset", "Dataset"]]:
+        """Yield ``k`` (train, test) cross-validation pairs.
+
+        The shuffle happens once; fold ``i`` holds out the ``i``-th
+        stripe as the test set, so every message serves as test data
+        exactly once (Section 4.1).
+        """
+        if k < 2:
+            raise CorpusError(f"k_folds needs k >= 2, got {k}")
+        if k > len(self._messages):
+            raise CorpusError(f"k={k} folds but only {len(self._messages)} messages")
+        order = list(range(len(self._messages)))
+        rng.shuffle(order)
+        folds = [order[i::k] for i in range(k)]
+        for i in range(k):
+            test_indices = folds[i]
+            train_indices = [idx for j, fold in enumerate(folds) if j != i for idx in fold]
+            yield (
+                self.subset(train_indices, name=f"{self.name}/fold{i}-train"),
+                self.subset(test_indices, name=f"{self.name}/fold{i}-test"),
+            )
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def tokenize_all(self, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> None:
+        """Force-populate every message's token cache (bulk warm-up)."""
+        for message in self._messages:
+            message.tokens(tokenizer)
+
+    def vocabulary(self, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> set[str]:
+        """Union of all token sets in the dataset."""
+        tokens: set[str] = set()
+        for message in self._messages:
+            tokens |= message.tokens(tokenizer)
+        return tokens
+
+    def __repr__(self) -> str:
+        n_ham, n_spam = self.counts()
+        return f"Dataset({self.name!r}, ham={n_ham}, spam={n_spam})"

@@ -1,0 +1,105 @@
+"""mbox-style persistence for datasets.
+
+Generated corpora are deterministic, so persistence is a convenience
+(inspecting a poisoned mailbox, interop with real tooling) rather than
+a requirement.  The format is classic ``mboxo``: messages separated by
+``From `` lines, with a ``X-Repro-Label`` header carrying the gold
+label and ``X-Repro-Msgid`` the corpus identity, so a dataset round-
+trips losslessly through a single file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import CorpusError
+from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.spambayes.message import Email
+
+__all__ = ["save_mbox", "load_mbox"]
+
+_LABEL_HEADER = "X-Repro-Label"
+_MSGID_HEADER = "X-Repro-Msgid"
+_BODY_LINES_HEADER = "X-Repro-Body-Lines"
+_SEPARATOR_PREFIX = "From "
+
+
+def save_mbox(dataset: Iterable[LabeledMessage], path: str | Path) -> int:
+    """Write messages to ``path`` in mboxo format; returns the count.
+
+    Body lines beginning with ``From `` are quoted with ``>`` per the
+    mboxo convention (and unquoted on load).
+    """
+    path = Path(path)
+    count = 0
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            for message in dataset:
+                label = "spam" if message.is_spam else "ham"
+                body_lines = message.email.body.split("\n")
+                handle.write("From repro@localhost Sat Jan  1 00:00:00 2005\n")
+                handle.write(f"{_LABEL_HEADER}: {label}\n")
+                handle.write(f"{_MSGID_HEADER}: {message.msgid}\n")
+                handle.write(f"{_BODY_LINES_HEADER}: {len(body_lines)}\n")
+                for name, value in message.email.iter_headers():
+                    handle.write(f"{name}: {value}\n")
+                handle.write("\n")
+                for line in body_lines:
+                    if line.startswith(_SEPARATOR_PREFIX):
+                        handle.write(">")
+                    handle.write(line)
+                    handle.write("\n")
+                handle.write("\n")
+                count += 1
+    except OSError as exc:
+        raise CorpusError(f"cannot write mbox to {path}: {exc}") from exc
+    return count
+
+
+def load_mbox(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_mbox`."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CorpusError(f"cannot read mbox from {path}: {exc}") from exc
+    messages: list[LabeledMessage] = []
+    current_lines: list[str] = []
+
+    def flush() -> None:
+        if not current_lines:
+            return
+        raw = "\n".join(current_lines)
+        email = Email.from_text(raw)
+        label = email.get_header(_LABEL_HEADER)
+        msgid = email.get_header(_MSGID_HEADER) or ""
+        line_count_text = email.get_header(_BODY_LINES_HEADER)
+        if label not in ("spam", "ham") or line_count_text is None:
+            raise CorpusError(f"mbox message missing repro headers in {path}")
+        try:
+            line_count = int(line_count_text)
+        except ValueError as exc:
+            raise CorpusError(f"bad {_BODY_LINES_HEADER} value in {path}") from exc
+        headers = [
+            (name, value)
+            for name, value in email.iter_headers()
+            if name not in (_LABEL_HEADER, _MSGID_HEADER, _BODY_LINES_HEADER)
+        ]
+        body_lines = [
+            line[1:] if line.startswith(">" + _SEPARATOR_PREFIX) else line
+            for line in email.body.split("\n")
+        ][:line_count]
+        cleaned = Email(body="\n".join(body_lines), headers=headers, msgid=msgid)
+        messages.append(LabeledMessage(cleaned, is_spam=(label == "spam")))
+
+    for line in text.split("\n"):
+        if line.startswith(_SEPARATOR_PREFIX):
+            flush()
+            current_lines = []
+            continue
+        current_lines.append(line)
+    flush()
+    if not messages:
+        raise CorpusError(f"mbox at {path} contained no messages")
+    return Dataset(messages, name=f"mbox({path.name})")

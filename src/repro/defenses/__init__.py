@@ -1,0 +1,32 @@
+"""Defenses against Causative attacks (Section 5 of the paper).
+
+* :mod:`repro.defenses.roni` — Reject On Negative Impact: measure each
+  candidate training email's incremental effect on a small validation
+  set and refuse to train on messages with large negative impact.
+* :mod:`repro.defenses.threshold` — the dynamic threshold defense:
+  re-derive θ0/θ1 from held-out scores instead of the static 0.15/0.9,
+  exploiting the rank-invariance of score-shifting attacks.
+* :mod:`repro.defenses.pipeline` — glue that trains defended filters
+  end to end.
+"""
+
+from repro.defenses.roni import RoniConfig, RoniDefense, RoniMeasurement, RoniVerdict
+from repro.defenses.threshold import (
+    DynamicThresholdConfig,
+    DynamicThresholdDefense,
+    ThresholdFit,
+)
+from repro.defenses.pipeline import train_with_dynamic_threshold, train_with_roni, RoniTrainingReport
+
+__all__ = [
+    "RoniConfig",
+    "RoniDefense",
+    "RoniMeasurement",
+    "RoniVerdict",
+    "DynamicThresholdConfig",
+    "DynamicThresholdDefense",
+    "ThresholdFit",
+    "train_with_dynamic_threshold",
+    "train_with_roni",
+    "RoniTrainingReport",
+]

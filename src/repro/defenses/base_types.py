@@ -1,0 +1,14 @@
+"""Small shared types for the defenses package."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DefenseVerdict"]
+
+
+class DefenseVerdict(enum.Enum):
+    """A defense's decision about one candidate training message."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"

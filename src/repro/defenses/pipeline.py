@@ -1,0 +1,83 @@
+"""End-to-end defended training pipelines.
+
+These helpers wire a defense into the retraining flow of Section 2.1:
+an organization periodically retrains its filter on received email,
+some of which may be attack messages.  ``train_with_roni`` gates each
+incoming message through a RONI check; ``train_with_dynamic_threshold``
+trains on everything but re-derives the decision thresholds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.defenses.roni import RoniConfig, RoniDefense, RoniVerdict
+from repro.defenses.threshold import (
+    DynamicThresholdConfig,
+    DynamicThresholdDefense,
+    ThresholdFit,
+)
+from repro.spambayes.filter import SpamFilter
+from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
+
+__all__ = ["RoniTrainingReport", "train_with_roni", "train_with_dynamic_threshold"]
+
+
+@dataclass
+class RoniTrainingReport:
+    """What happened when RONI gated a retraining batch."""
+
+    accepted: list[LabeledMessage] = field(default_factory=list)
+    rejected: list[LabeledMessage] = field(default_factory=list)
+    verdicts: dict[str, RoniVerdict] = field(default_factory=dict)
+
+    @property
+    def rejection_rate(self) -> float:
+        total = len(self.accepted) + len(self.rejected)
+        return len(self.rejected) / total if total else 0.0
+
+
+def train_with_roni(
+    base_pool: Dataset,
+    incoming: Iterable[LabeledMessage],
+    rng: random.Random,
+    config: RoniConfig = RoniConfig(),
+    options: ClassifierOptions = DEFAULT_OPTIONS,
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+) -> tuple[SpamFilter, RoniTrainingReport]:
+    """Train a filter on ``base_pool`` plus RONI-accepted ``incoming``.
+
+    The RONI calibration resamples come from ``base_pool`` (the mail
+    the organization already trusts); every ``incoming`` message is
+    measured and only non-deleterious ones are trained.
+    """
+    defense = RoniDefense(base_pool, rng, config=config, options=options, tokenizer=tokenizer)
+    report = RoniTrainingReport()
+    spam_filter = SpamFilter(options=options, tokenizer=tokenizer)
+    for message in base_pool:
+        spam_filter.classifier.learn(message.tokens(tokenizer), message.is_spam)
+    for message in incoming:
+        verdict = defense.judge(message)
+        report.verdicts[message.msgid] = verdict
+        if verdict.rejected:
+            report.rejected.append(message)
+        else:
+            report.accepted.append(message)
+            spam_filter.classifier.learn(message.tokens(tokenizer), message.is_spam)
+    return spam_filter, report
+
+
+def train_with_dynamic_threshold(
+    training: Dataset,
+    rng: random.Random,
+    config: DynamicThresholdConfig = DynamicThresholdConfig(),
+    options: ClassifierOptions = DEFAULT_OPTIONS,
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+) -> tuple[SpamFilter, ThresholdFit]:
+    """Train on the full (possibly poisoned) set with fitted thresholds."""
+    defense = DynamicThresholdDefense(config=config, options=options, tokenizer=tokenizer)
+    return defense.build_filter(training, rng)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary
+without swallowing genuine programming errors (``TypeError``,
+``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CorpusError",
+    "MessageParseError",
+    "TrainingError",
+    "AttackError",
+    "DefenseError",
+    "ExperimentError",
+    "PersistenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class CorpusError(ReproError):
+    """A corpus could not be built, sampled, or loaded."""
+
+
+class MessageParseError(ReproError):
+    """Raw email text could not be parsed into an :class:`Email`."""
+
+
+class TrainingError(ReproError):
+    """The classifier was asked to do something inconsistent.
+
+    The canonical example is unlearning a message that was never
+    learned, which would corrupt token counts.
+    """
+
+
+class AttackError(ReproError):
+    """An attack could not be constructed with the given knowledge."""
+
+
+class DefenseError(ReproError):
+    """A defense could not be applied (e.g. not enough calibration data)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received an invalid or inconsistent setup."""
+
+
+class PersistenceError(ReproError):
+    """A classifier database could not be saved or restored."""

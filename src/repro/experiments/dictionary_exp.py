@@ -1,0 +1,167 @@
+"""Figure 1: dictionary attacks vs percent control of the training set.
+
+Protocol (Section 4.2): an N-message inbox at a given spam prevalence,
+K-fold cross-validation, and for each attack variant a sweep over
+contamination fractions.  Reported per fraction: percent of test ham
+classified as spam (dashed lines in the figure) and as spam-or-unsure
+(solid lines), pooled over folds.
+
+Variants, in the paper's legend order: *optimal* (every token the
+victim can see), *usenet* (top-k Usenet words), *aspell* (the English
+dictionary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.attacks.dictionary import (
+    AspellDictionaryAttack,
+    DictionaryAttack,
+    OptimalDictionaryAttack,
+    UsenetDictionaryAttack,
+)
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
+from repro.errors import ExperimentError
+from repro.experiments.crossval import AttackSweepPoint, attack_fraction_sweep
+from repro.experiments.results import CurvePoint, ExperimentRecord, Series
+from repro.rng import SeedSpawner
+from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+
+__all__ = [
+    "DictionaryExperimentConfig",
+    "DictionaryExperimentResult",
+    "build_attack_variants",
+    "run_dictionary_experiment",
+]
+
+PAPER_FRACTIONS = (0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10)
+"""Table 1's dictionary-attack fractions, plus the clean baseline."""
+
+
+@dataclass(frozen=True)
+class DictionaryExperimentConfig:
+    """Sizes and knobs for a Figure 1 run.
+
+    The defaults are a laptop-scale rendition (inbox 1,000, 3 folds,
+    1/10-scale vocabulary); :meth:`paper_scale` restores Table 1.
+    """
+
+    inbox_size: int = 1_000
+    spam_prevalence: float = 0.50
+    folds: int = 3
+    attack_fractions: Sequence[float] = PAPER_FRACTIONS
+    variants: Sequence[str] = ("optimal", "usenet", "aspell")
+    profile: VocabularyProfile = SMALL_PROFILE
+    corpus_ham: int = 700
+    corpus_spam: int = 700
+    seed: int = 0
+    options: ClassifierOptions = DEFAULT_OPTIONS
+
+    def __post_init__(self) -> None:
+        if self.inbox_size < self.folds:
+            raise ExperimentError("inbox_size must be >= folds")
+        needed_ham = round(self.inbox_size * (1.0 - self.spam_prevalence))
+        needed_spam = round(self.inbox_size * self.spam_prevalence)
+        if self.corpus_ham < needed_ham or self.corpus_spam < needed_spam:
+            raise ExperimentError(
+                "corpus too small for the requested inbox: needs "
+                f"{needed_ham} ham / {needed_spam} spam, corpus has "
+                f"{self.corpus_ham} / {self.corpus_spam}"
+            )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "DictionaryExperimentConfig":
+        """Table 1's large configuration: 10,000-message inbox, 10 folds."""
+        from repro.corpus.vocabulary import PAPER_PROFILE
+
+        return cls(
+            inbox_size=10_000,
+            spam_prevalence=0.50,
+            folds=10,
+            profile=PAPER_PROFILE,
+            corpus_ham=6_000,
+            corpus_spam=6_000,
+            seed=seed,
+        )
+
+
+@dataclass
+class DictionaryExperimentResult:
+    """Sweep outcomes per attack variant, ready for reporting."""
+
+    config: DictionaryExperimentConfig
+    sweeps: dict[str, list[AttackSweepPoint]] = field(default_factory=dict)
+
+    def to_record(self) -> ExperimentRecord:
+        series = []
+        for variant, points in self.sweeps.items():
+            series.append(
+                Series(
+                    name=variant,
+                    points=[
+                        CurvePoint.from_confusion(point.attack_fraction, point.confusion)
+                        for point in points
+                    ],
+                )
+            )
+        return ExperimentRecord(
+            experiment="figure1-dictionary",
+            config={
+                "inbox_size": self.config.inbox_size,
+                "spam_prevalence": self.config.spam_prevalence,
+                "folds": self.config.folds,
+                "attack_fractions": list(self.config.attack_fractions),
+                "profile": self.config.profile.name,
+                "seed": self.config.seed,
+            },
+            series=series,
+        )
+
+
+def build_attack_variants(
+    corpus: TrecStyleCorpus, variants: Sequence[str], seed: int = 0
+) -> dict[str, DictionaryAttack]:
+    """Instantiate the named Figure 1 attack variants for ``corpus``."""
+    attacks: dict[str, DictionaryAttack] = {}
+    for variant in variants:
+        if variant == "optimal":
+            attacks[variant] = OptimalDictionaryAttack.from_vocabulary(corpus.vocabulary)
+        elif variant == "usenet":
+            attacks[variant] = UsenetDictionaryAttack.from_vocabulary(corpus.vocabulary, seed=seed)
+        elif variant == "aspell":
+            attacks[variant] = AspellDictionaryAttack.from_vocabulary(corpus.vocabulary)
+        else:
+            raise ExperimentError(f"unknown dictionary attack variant {variant!r}")
+    return attacks
+
+
+def run_dictionary_experiment(
+    config: DictionaryExperimentConfig = DictionaryExperimentConfig(),
+) -> DictionaryExperimentResult:
+    """Run the Figure 1 experiment end to end."""
+    spawner = SeedSpawner(config.seed).spawn("dictionary-experiment")
+    corpus = TrecStyleCorpus.generate(
+        n_ham=config.corpus_ham,
+        n_spam=config.corpus_spam,
+        profile=config.profile,
+        seed=spawner.child_seed("corpus"),
+    )
+    inbox = corpus.dataset.sample_inbox(
+        config.inbox_size, config.spam_prevalence, spawner.rng("inbox")
+    )
+    inbox.tokenize_all()
+    attacks = build_attack_variants(corpus, config.variants, seed=config.seed)
+    result = DictionaryExperimentResult(config=config)
+    for variant, attack in attacks.items():
+        result.sweeps[variant] = attack_fraction_sweep(
+            inbox=inbox,
+            attack=attack,
+            fractions=config.attack_fractions,
+            folds=config.folds,
+            rng=spawner.rng(f"sweep:{variant}"),
+            options=config.options,
+        )
+    return result

@@ -1,0 +1,286 @@
+"""Figures 2 and 3: the focused attack.
+
+Protocol (Section 4.3): sample a clean inbox (paper: 5,000 messages,
+50% spam) and train on it; pick target ham emails *not* in the inbox;
+send attack emails built from per-token guesses of each target; retrain
+with the attack included; classify the target.
+
+Figure 2 varies the attacker's knowledge — the per-token guess
+probability p ∈ {0.1, 0.3, 0.5, 0.9} with a fixed number of attack
+emails — and reports the fraction of targets landing in each of
+ham/unsure/spam.  Figure 3 fixes p = 0.5 and sweeps the number of
+attack emails, reporting the fraction of targets misclassified as spam
+and as unsure-or-spam.
+
+Implementation notes: each repetition trains its inbox classifier
+once; every (target, p, count) cell then *learns* the attack batch,
+classifies the target, and *unlearns* the batch, restoring the exact
+pre-attack state (learning is count-addition, so unlearning is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.attacks.focused import FocusedAttack
+from repro.corpus.dataset import LabeledMessage
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
+from repro.errors import ExperimentError
+from repro.experiments.crossval import _IncrementalAttackTrainer, attack_message_count, train_grouped
+from repro.experiments.results import CurvePoint, ExperimentRecord, Series
+from repro.rng import SeedSpawner
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.filter import Label
+from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.tokenizer import DEFAULT_TOKENIZER
+
+__all__ = [
+    "FocusedExperimentConfig",
+    "FocusedKnowledgeResult",
+    "FocusedSizeResult",
+    "run_focused_knowledge_experiment",
+    "run_focused_size_experiment",
+]
+
+PAPER_GUESS_PROBABILITIES = (0.1, 0.3, 0.5, 0.9)
+
+
+@dataclass(frozen=True)
+class FocusedExperimentConfig:
+    """Sizes and knobs for the focused-attack experiments.
+
+    Defaults are 1/5-scale (inbox 1,000, 60 attack emails — the same
+    6% contamination as the paper's 300-of-5,000); :meth:`paper_scale`
+    restores Section 4.3 exactly.
+    """
+
+    inbox_size: int = 1_000
+    spam_prevalence: float = 0.50
+    n_targets: int = 10
+    repetitions: int = 2
+    attack_count: int = 60
+    guess_probabilities: Sequence[float] = PAPER_GUESS_PROBABILITIES
+    size_sweep_fractions: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10)
+    size_sweep_guess_probability: float = 0.5
+    profile: VocabularyProfile = SMALL_PROFILE
+    corpus_ham: int = 700
+    corpus_spam: int = 700
+    seed: int = 0
+    options: ClassifierOptions = DEFAULT_OPTIONS
+
+    def __post_init__(self) -> None:
+        if self.n_targets < 1 or self.repetitions < 1:
+            raise ExperimentError("need at least one target and one repetition")
+        needed_ham = round(self.inbox_size * (1.0 - self.spam_prevalence)) + self.n_targets
+        if self.corpus_ham < needed_ham:
+            raise ExperimentError(
+                f"corpus_ham={self.corpus_ham} too small: inbox + targets need {needed_ham}"
+            )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "FocusedExperimentConfig":
+        """Section 4.3 exactly: 5,000-message inbox, 300 attack emails,
+        20 targets, 5 repetitions."""
+        from repro.corpus.vocabulary import PAPER_PROFILE
+
+        return cls(
+            inbox_size=5_000,
+            n_targets=20,
+            repetitions=5,
+            attack_count=300,
+            profile=PAPER_PROFILE,
+            corpus_ham=3_100,
+            corpus_spam=3_100,
+            seed=seed,
+        )
+
+
+@dataclass
+class _Repetition:
+    """One repetition's trained inbox state and target pool."""
+
+    classifier: Classifier
+    targets: list[LabeledMessage]
+    header_pool: list
+
+
+def _prepare_repetitions(config: FocusedExperimentConfig) -> list[_Repetition]:
+    spawner = SeedSpawner(config.seed).spawn("focused-experiment")
+    corpus = TrecStyleCorpus.generate(
+        n_ham=config.corpus_ham,
+        n_spam=config.corpus_spam,
+        profile=config.profile,
+        seed=spawner.child_seed("corpus"),
+    )
+    repetitions = []
+    for rep in range(config.repetitions):
+        rep_rng = spawner.rng(f"rep[{rep}]")
+        inbox = corpus.dataset.sample_inbox(config.inbox_size, config.spam_prevalence, rep_rng)
+        inbox.tokenize_all()
+        inbox_ids = {message.msgid for message in inbox}
+        candidates = [m for m in corpus.dataset.ham if m.msgid not in inbox_ids]
+        if len(candidates) < config.n_targets:
+            raise ExperimentError(
+                f"only {len(candidates)} ham outside the inbox; need {config.n_targets} targets"
+            )
+        targets = rep_rng.sample(candidates, config.n_targets)
+        classifier = Classifier(config.options)
+        train_grouped(classifier, inbox)
+        header_pool = [message.email for message in inbox.spam]
+        repetitions.append(_Repetition(classifier, targets, header_pool))
+    return repetitions
+
+
+def _label_of(classifier: Classifier, message: LabeledMessage) -> Label:
+    score = classifier.score(message.tokens(DEFAULT_TOKENIZER))
+    if score <= classifier.options.ham_cutoff:
+        return Label.HAM
+    if score <= classifier.options.spam_cutoff:
+        return Label.UNSURE
+    return Label.SPAM
+
+
+@dataclass
+class FocusedKnowledgeResult:
+    """Figure 2: post-attack target label mix per guess probability."""
+
+    config: FocusedExperimentConfig
+    label_counts: dict[float, dict[str, int]] = field(default_factory=dict)
+    pre_attack_ham: int = 0
+    total_targets: int = 0
+
+    def fractions(self, probability: float) -> dict[str, float]:
+        counts = self.label_counts[probability]
+        total = sum(counts.values())
+        return {label: count / total for label, count in counts.items()} if total else {}
+
+    def attack_success_rate(self, probability: float) -> float:
+        """Fraction of targets no longer classified as ham."""
+        fracs = self.fractions(probability)
+        return fracs.get("unsure", 0.0) + fracs.get("spam", 0.0)
+
+    def to_record(self) -> ExperimentRecord:
+        series = [
+            Series(
+                name=label,
+                points=[
+                    CurvePoint(
+                        x=p,
+                        ham_as_spam_rate=self.fractions(p).get("spam", 0.0),
+                        ham_misclassified_rate=self.attack_success_rate(p),
+                    )
+                    for p in sorted(self.label_counts)
+                ],
+            )
+            for label in ("ham", "unsure", "spam")
+        ]
+        return ExperimentRecord(
+            experiment="figure2-focused-knowledge",
+            config={
+                "inbox_size": self.config.inbox_size,
+                "attack_count": self.config.attack_count,
+                "n_targets": self.config.n_targets,
+                "repetitions": self.config.repetitions,
+                "seed": self.config.seed,
+            },
+            series=series,
+            extras={
+                "label_counts": {str(p): c for p, c in self.label_counts.items()},
+                "pre_attack_ham": self.pre_attack_ham,
+                "total_targets": self.total_targets,
+            },
+        )
+
+
+def run_focused_knowledge_experiment(
+    config: FocusedExperimentConfig = FocusedExperimentConfig(),
+) -> FocusedKnowledgeResult:
+    """Run the Figure 2 experiment."""
+    repetitions = _prepare_repetitions(config)
+    attack_rng = SeedSpawner(config.seed).spawn("focused-knowledge").rng("attacks")
+    result = FocusedKnowledgeResult(config=config)
+    for probability in config.guess_probabilities:
+        result.label_counts[probability] = {"ham": 0, "unsure": 0, "spam": 0}
+    for repetition in repetitions:
+        for target in repetition.targets:
+            result.total_targets += 1
+            if _label_of(repetition.classifier, target) is Label.HAM:
+                result.pre_attack_ham += 1
+            for probability in config.guess_probabilities:
+                attack = FocusedAttack(
+                    target.email,
+                    guess_probability=probability,
+                    header_pool=repetition.header_pool,
+                )
+                batch = attack.generate(config.attack_count, attack_rng)
+                batch.train_into(repetition.classifier)
+                label = _label_of(repetition.classifier, target)
+                batch.untrain_from(repetition.classifier)
+                result.label_counts[probability][label.value] += 1
+    return result
+
+
+@dataclass
+class FocusedSizeResult:
+    """Figure 3: target misclassification vs number of attack emails."""
+
+    config: FocusedExperimentConfig
+    points: list[CurvePoint] = field(default_factory=list)
+
+    def to_record(self) -> ExperimentRecord:
+        return ExperimentRecord(
+            experiment="figure3-focused-size",
+            config={
+                "inbox_size": self.config.inbox_size,
+                "guess_probability": self.config.size_sweep_guess_probability,
+                "n_targets": self.config.n_targets,
+                "repetitions": self.config.repetitions,
+                "seed": self.config.seed,
+            },
+            series=[Series(name="target", points=self.points)],
+        )
+
+
+def run_focused_size_experiment(
+    config: FocusedExperimentConfig = FocusedExperimentConfig(),
+) -> FocusedSizeResult:
+    """Run the Figure 3 experiment (p fixed, attack size swept)."""
+    fractions = list(config.size_sweep_fractions)
+    if fractions != sorted(fractions):
+        raise ExperimentError("size_sweep_fractions must be ascending")
+    repetitions = _prepare_repetitions(config)
+    attack_rng = SeedSpawner(config.seed).spawn("focused-size").rng("attacks")
+    counts = [attack_message_count(config.inbox_size, f) for f in fractions]
+    as_spam = [0] * len(fractions)
+    as_filtered = [0] * len(fractions)  # spam or unsure
+    total = 0
+    for repetition in repetitions:
+        for target in repetition.targets:
+            total += 1
+            attack = FocusedAttack(
+                target.email,
+                guess_probability=config.size_sweep_guess_probability,
+                header_pool=repetition.header_pool,
+            )
+            batch = attack.generate(counts[-1] if counts else 0, attack_rng)
+            trainer = _IncrementalAttackTrainer(repetition.classifier, batch)
+            for index, count in enumerate(counts):
+                trainer.advance_to(count)
+                label = _label_of(repetition.classifier, target)
+                if label is Label.SPAM:
+                    as_spam[index] += 1
+                if label is not Label.HAM:
+                    as_filtered[index] += 1
+            batch.untrain_from(repetition.classifier)
+    result = FocusedSizeResult(config=config)
+    for index, fraction in enumerate(fractions):
+        result.points.append(
+            CurvePoint(
+                x=fraction,
+                ham_as_spam_rate=as_spam[index] / total if total else 0.0,
+                ham_misclassified_rate=as_filtered[index] / total if total else 0.0,
+            )
+        )
+    return result

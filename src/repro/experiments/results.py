@@ -1,0 +1,121 @@
+"""Serializable experiment results.
+
+Every driver returns a result object that (a) renders itself as the
+paper's rows/series via :mod:`repro.experiments.reporting`, and
+(b) round-trips through JSON so benchmark runs can be archived and
+compared across machines.  The JSON layer is deliberately dumb —
+plain dicts, no pickle — so archived results stay readable forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.experiments.metrics import ConfusionCounts
+
+__all__ = ["CurvePoint", "Series", "ExperimentRecord", "save_record", "load_record"]
+
+
+@dataclass(frozen=True, slots=True)
+class CurvePoint:
+    """One (x, rates) point on a figure curve."""
+
+    x: float
+    ham_as_spam_rate: float
+    ham_misclassified_rate: float
+    spam_as_spam_rate: float = 0.0
+    spam_as_unsure_rate: float = 0.0
+
+    @classmethod
+    def from_confusion(cls, x: float, confusion: ConfusionCounts) -> "CurvePoint":
+        return cls(
+            x=x,
+            ham_as_spam_rate=confusion.ham_as_spam_rate,
+            ham_misclassified_rate=confusion.ham_misclassified_rate,
+            spam_as_spam_rate=confusion.spam_as_spam_rate,
+            spam_as_unsure_rate=confusion.spam_as_unsure_rate,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "x": self.x,
+            "ham_as_spam_rate": self.ham_as_spam_rate,
+            "ham_misclassified_rate": self.ham_misclassified_rate,
+            "spam_as_spam_rate": self.spam_as_spam_rate,
+            "spam_as_unsure_rate": self.spam_as_unsure_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "CurvePoint":
+        return cls(**{key: float(value) for key, value in data.items()})
+
+
+@dataclass
+class Series:
+    """A named curve (one line of a figure)."""
+
+    name: str
+    points: list[CurvePoint] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        return [point.x for point in self.points]
+
+    def values(self, attribute: str) -> list[float]:
+        return [getattr(point, attribute) for point in self.points]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "points": [point.as_dict() for point in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Series":
+        return cls(
+            name=str(data["name"]),
+            points=[CurvePoint.from_dict(point) for point in data["points"]],
+        )
+
+
+@dataclass
+class ExperimentRecord:
+    """A complete, archivable experiment outcome."""
+
+    experiment: str
+    config: dict[str, Any]
+    series: list[Series] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def series_named(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise ExperimentError(f"no series named {name!r} in {self.experiment}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "config": self.config,
+            "series": [series.as_dict() for series in self.series],
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentRecord":
+        return cls(
+            experiment=str(data["experiment"]),
+            config=dict(data["config"]),
+            series=[Series.from_dict(series) for series in data["series"]],
+            extras=dict(data.get("extras", {})),
+        )
+
+
+def save_record(record: ExperimentRecord, path: str | Path) -> None:
+    """Write a record as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(record.as_dict(), indent=2), encoding="utf-8")
+
+
+def load_record(path: str | Path) -> ExperimentRecord:
+    """Read a record written by :func:`save_record`."""
+    return ExperimentRecord.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

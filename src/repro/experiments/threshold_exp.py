@@ -1,0 +1,209 @@
+"""Figure 5: the dynamic threshold defense under dictionary attack.
+
+For each contamination level the experiment compares three filters
+that share *exactly the same trained state* (the poisoned token
+counts) and differ only in thresholds:
+
+* *no-defense* — the static θ0 = 0.15, θ1 = 0.9;
+* *threshold-.05* — θ fitted with the g-quantile 0.05 (wide unsure);
+* *threshold-.10* — θ fitted with the g-quantile 0.10 (narrower).
+
+Reported per level: ham-as-spam and ham-as-(spam-or-unsure) on held-out
+test folds (the figure's dashed/solid lines), plus spam-as-unsure —
+the defense's cost, which the paper calls out in its closing paragraph
+(nearly all spam lands in unsure even at 1% contamination).
+
+The threshold fit sees what a deployed defense would see: the poisoned
+training set, attack messages included and labeled spam.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.attacks.base import AttackBatch
+from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
+from repro.defenses.threshold import DynamicThresholdConfig, DynamicThresholdDefense
+from repro.errors import ExperimentError
+from repro.experiments.crossval import (
+    _IncrementalAttackTrainer,
+    attack_message_count,
+    evaluate_dataset,
+    train_grouped,
+)
+from repro.experiments.dictionary_exp import build_attack_variants
+from repro.experiments.results import CurvePoint, ExperimentRecord, Series
+from repro.rng import SeedSpawner
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.message import Email
+from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+
+__all__ = [
+    "ThresholdExperimentConfig",
+    "ThresholdExperimentResult",
+    "run_threshold_experiment",
+    "attack_messages_as_dataset",
+]
+
+PAPER_FRACTIONS = (0.0, 0.001, 0.01, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class ThresholdExperimentConfig:
+    """Sizes and knobs for a Figure 5 run (defaults are 1/10 scale)."""
+
+    inbox_size: int = 1_000
+    spam_prevalence: float = 0.50
+    folds: int = 3
+    attack_fractions: Sequence[float] = PAPER_FRACTIONS
+    attack_variant: str = "usenet"
+    quantiles: Sequence[float] = (0.05, 0.10)
+    profile: VocabularyProfile = SMALL_PROFILE
+    corpus_ham: int = 700
+    corpus_spam: int = 700
+    seed: int = 0
+    options: ClassifierOptions = DEFAULT_OPTIONS
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0) -> "ThresholdExperimentConfig":
+        """Table 1: 10,000-message inbox, 5 folds."""
+        from repro.corpus.vocabulary import PAPER_PROFILE
+
+        return cls(
+            inbox_size=10_000,
+            folds=5,
+            profile=PAPER_PROFILE,
+            corpus_ham=6_000,
+            corpus_spam=6_000,
+            seed=seed,
+        )
+
+
+@dataclass
+class ThresholdExperimentResult:
+    """One series per defense arm ("no-defense", "threshold-0.05", ...)."""
+
+    config: ThresholdExperimentConfig
+    series: dict[str, list[CurvePoint]] = field(default_factory=dict)
+    fitted_thresholds: dict[str, list[tuple[float, float, float]]] = field(default_factory=dict)
+    """Per arm: (fraction, θ0, θ1) fits averaged over folds."""
+
+    def to_record(self) -> ExperimentRecord:
+        return ExperimentRecord(
+            experiment="figure5-threshold-defense",
+            config={
+                "inbox_size": self.config.inbox_size,
+                "folds": self.config.folds,
+                "attack_variant": self.config.attack_variant,
+                "quantiles": list(self.config.quantiles),
+                "seed": self.config.seed,
+            },
+            series=[Series(name=name, points=points) for name, points in self.series.items()],
+            extras={"fitted_thresholds": self.fitted_thresholds},
+        )
+
+
+def attack_messages_as_dataset(batch: AttackBatch, start: int = 0) -> list[LabeledMessage]:
+    """Materialize a batch as spam-labeled dataset members.
+
+    Bodies stay empty — token caches are pre-seeded with the payload,
+    which is all downstream training ever reads — so a thousand
+    90k-token attack messages cost one shared frozenset, not gigabytes
+    of rendered text.
+    """
+    messages: list[LabeledMessage] = []
+    index = start
+    for group in batch.groups:
+        for _ in range(group.count):
+            message = LabeledMessage(
+                Email(body="", msgid=f"attack-{batch.attack_name}-{index:06d}"),
+                is_spam=True,
+            )
+            message._tokens = group.training_tokens
+            messages.append(message)
+            index += 1
+    return messages
+
+
+def run_threshold_experiment(
+    config: ThresholdExperimentConfig = ThresholdExperimentConfig(),
+) -> ThresholdExperimentResult:
+    """Run the Figure 5 experiment end to end."""
+    fractions = list(config.attack_fractions)
+    if fractions != sorted(fractions):
+        raise ExperimentError("attack_fractions must be ascending")
+    spawner = SeedSpawner(config.seed).spawn("threshold-experiment")
+    corpus = TrecStyleCorpus.generate(
+        n_ham=config.corpus_ham,
+        n_spam=config.corpus_spam,
+        profile=config.profile,
+        seed=spawner.child_seed("corpus"),
+    )
+    inbox = corpus.dataset.sample_inbox(
+        config.inbox_size, config.spam_prevalence, spawner.rng("inbox")
+    )
+    inbox.tokenize_all()
+    attack = build_attack_variants(corpus, (config.attack_variant,), seed=config.seed)[
+        config.attack_variant
+    ]
+    counts = [attack_message_count(config.inbox_size, f) for f in fractions]
+    arms = ["no-defense"] + [f"threshold-{q:.2f}" for q in config.quantiles]
+    result = ThresholdExperimentResult(config=config)
+    accumulators: dict[str, list] = {arm: [None] * len(fractions) for arm in arms}
+    threshold_fits: dict[str, list[list[tuple[float, float]]]] = {
+        arm: [[] for _ in fractions] for arm in arms[1:]
+    }
+    fold_rng = spawner.rng("folds")
+    for train_set, test_set in inbox.k_folds(config.folds, fold_rng):
+        classifier = Classifier(config.options)
+        train_grouped(classifier, train_set)
+        batch = attack.generate(counts[-1], random.Random(fold_rng.getrandbits(64)))
+        trainer = _IncrementalAttackTrainer(classifier, batch)
+        attack_messages = attack_messages_as_dataset(batch)
+        for index, count in enumerate(counts):
+            trainer.advance_to(count)
+            # Arm 1: static thresholds.
+            confusion = evaluate_dataset(classifier, test_set)
+            if accumulators["no-defense"][index] is None:
+                accumulators["no-defense"][index] = confusion
+            else:
+                accumulators["no-defense"][index].merge(confusion)
+            # Defended arms: fit thresholds on the poisoned training set.
+            poisoned = Dataset(
+                train_set.messages + attack_messages[:count],
+                name="poisoned-training",
+            )
+            for quantile in config.quantiles:
+                arm = f"threshold-{quantile:.2f}"
+                defense = DynamicThresholdDefense(
+                    config=DynamicThresholdConfig(quantile=quantile),
+                    options=config.options,
+                )
+                fit = defense.fit(poisoned, random.Random(fold_rng.getrandbits(64)))
+                threshold_fits[arm][index].append((fit.ham_cutoff, fit.spam_cutoff))
+                confusion = evaluate_dataset(
+                    classifier, test_set, cutoffs=(fit.ham_cutoff, fit.spam_cutoff)
+                )
+                if accumulators[arm][index] is None:
+                    accumulators[arm][index] = confusion
+                else:
+                    accumulators[arm][index].merge(confusion)
+    for arm in arms:
+        result.series[arm] = [
+            CurvePoint.from_confusion(fraction, confusion)
+            for fraction, confusion in zip(fractions, accumulators[arm])
+        ]
+    for arm, fits_per_fraction in threshold_fits.items():
+        result.fitted_thresholds[arm] = [
+            (
+                fraction,
+                sum(theta0 for theta0, _ in fits) / len(fits),
+                sum(theta1 for _, theta1 in fits) / len(fits),
+            )
+            for fraction, fits in zip(fractions, fits_per_fraction)
+        ]
+    return result

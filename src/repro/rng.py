@@ -1,0 +1,86 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in this library draws from a
+:class:`random.Random` instance that was *spawned* from a named root
+seed. Spawning hashes the parent seed together with a string label, so:
+
+* two runs with the same root seed are bit-identical,
+* sibling components (e.g. "ham generator" vs "spam generator") get
+  decorrelated streams even though they share a root, and
+* adding a new consumer never perturbs the streams of existing ones
+  (unlike sharing a single ``Random`` and interleaving draws).
+
+The scheme is intentionally simple — SHA-256 of ``parent_seed || label``
+— rather than numpy's ``SeedSequence``, because the hot paths use the
+stdlib ``random`` module (generating token sets, shuffling folds) and we
+want zero numpy dependency in the core engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+__all__ = ["spawn_seed", "spawn_rng", "SeedSpawner", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20080415
+"""Default root seed (the LEET'08 workshop date) used across examples."""
+
+
+def spawn_seed(parent_seed: int, label: str) -> int:
+    """Derive a child seed from ``parent_seed`` and a string ``label``.
+
+    The derivation is a SHA-256 hash truncated to 64 bits, which is
+    stable across Python versions and platforms (``hash()`` is not,
+    because of string-hash randomization).
+    """
+    digest = hashlib.sha256(f"{parent_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def spawn_rng(parent_seed: int, label: str) -> random.Random:
+    """Return a fresh ``random.Random`` seeded from ``(parent_seed, label)``."""
+    return random.Random(spawn_seed(parent_seed, label))
+
+
+class SeedSpawner:
+    """A root seed that hands out named, decorrelated child streams.
+
+    >>> spawner = SeedSpawner(1234)
+    >>> ham_rng = spawner.rng("ham")
+    >>> spam_rng = spawner.rng("spam")
+    >>> spawner.rng("ham").random() == ham_rng.random()  # same stream
+    False
+
+    Repeated requests for the same label return *new* generator objects
+    positioned at the start of the same stream, so a component can be
+    re-created mid-experiment and replay its own randomness.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        self.seed = int(seed)
+
+    def child_seed(self, label: str) -> int:
+        """Derive the child seed for ``label`` without building an RNG."""
+        return spawn_seed(self.seed, label)
+
+    def rng(self, label: str) -> random.Random:
+        """Return a ``random.Random`` for ``label``, always at stream start."""
+        return random.Random(self.child_seed(label))
+
+    def spawn(self, label: str) -> "SeedSpawner":
+        """Return a sub-spawner rooted at the child seed for ``label``."""
+        return SeedSpawner(self.child_seed(label))
+
+    def indexed(self, label: str, count: int) -> Iterator[random.Random]:
+        """Yield ``count`` decorrelated RNGs labelled ``label[0..count)``.
+
+        Useful for per-fold or per-repetition streams where each index
+        must be independent of how many siblings exist.
+        """
+        for index in range(count):
+            yield self.rng(f"{label}[{index}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SeedSpawner(seed={self.seed})"

@@ -1,0 +1,109 @@
+"""Chi-square machinery behind Fisher's method.
+
+SpamBayes combines per-token spam scores with Fisher's method for
+merging independent significance tests (Fisher 1948).  If ``p_1..p_n``
+are probabilities drawn independently from the uniform distribution,
+then ``-2 * sum(ln p_i)`` follows a chi-square distribution with ``2n``
+degrees of freedom.  Scores that are *uniformly distributed under the
+null* therefore yield a middling statistic, while a run of extreme
+scores pushes the statistic far into the tail.
+
+:func:`chi2q` is the survival function ``P[X >= x2]`` of the chi-square
+distribution with an *even* number of degrees of freedom, computed with
+the closed-form series
+
+    Q(x2, 2k) = exp(-m) * sum_{i=0}^{k-1} m^i / i!,   m = x2 / 2
+
+which is exactly the routine SpamBayes ships (``chi2.chi2Q``).  It
+needs no scipy and is precise enough for scores in ``[0, 1]``.
+
+:func:`fisher_combine` evaluates the paper's Equation 4: given token
+scores ``f(w)`` it returns
+
+    H(E) = 1 - CDF_{2n}(-2 * sum(log f(w)))  =  Q(-2 * sum(log f(w)), 2n)
+
+with the ``frexp`` trick SpamBayes uses so that products of hundreds of
+tiny probabilities cannot underflow to zero before the logarithm is
+taken.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["chi2q", "ln_product", "fisher_combine"]
+
+# exp(-m) underflows for m > ~745; beyond that the survival function is
+# indistinguishable from its asymptotic tail at double precision, and
+# SpamBayes' own routine just returns 0.0 there too.
+_EXP_UNDERFLOW_LIMIT = 708.0
+
+
+def chi2q(x2: float, degrees: int) -> float:
+    """Survival function of the chi-square distribution, even dof only.
+
+    Returns ``P[X >= x2]`` for ``X ~ chi^2(degrees)``.
+
+    ``degrees`` must be a positive even integer — Fisher's method always
+    produces ``2n`` degrees of freedom, and the closed-form series only
+    exists for even dof.  Values of ``x2 <= 0`` return 1.0 (the whole
+    mass lies above a non-positive point).
+    """
+    if degrees <= 0 or degrees % 2 != 0:
+        raise ConfigurationError(
+            f"chi2q requires a positive even number of degrees, got {degrees}"
+        )
+    if x2 <= 0.0:
+        return 1.0
+    half = x2 / 2.0
+    if half > _EXP_UNDERFLOW_LIMIT:
+        return 0.0
+    term = math.exp(-half)
+    total = term
+    for i in range(1, degrees // 2):
+        term *= half / i
+        total += term
+    # The series can creep epsilon above 1.0 through rounding; clamp like
+    # SpamBayes does.
+    return min(total, 1.0)
+
+
+def ln_product(values: Iterable[float]) -> float:
+    """Return ``sum(ln v)`` for ``values`` without intermediate underflow.
+
+    Multiplying hundreds of probabilities ~1e-5 together underflows a
+    double long before the logarithm is taken, so — like SpamBayes — we
+    accumulate the product in ``frexp`` form (mantissa in ``[0.5, 1)``
+    plus a binary exponent) and take one logarithm at the end.
+
+    Raises ``ValueError`` if any value is not strictly positive, because
+    ``ln 0`` would silently poison the Fisher statistic.
+    """
+    mantissa = 1.0
+    exponent = 0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError(f"ln_product requires positive values, got {value}")
+        mantissa *= value
+        if mantissa < 1e-200:
+            mantissa, shift = math.frexp(mantissa)
+            exponent += shift
+    return math.log(mantissa) + exponent * math.log(2.0)
+
+
+def fisher_combine(scores: Sequence[float]) -> float:
+    """Fisher-combine token scores into a single tail probability.
+
+    Implements ``Q(-2 * sum(ln f_i), 2n)`` over the given scores — the
+    paper's ``H(E)`` when passed ``f(w)`` values, or ``S(E)`` when
+    passed ``1 - f(w)`` values.  An empty score list carries no
+    evidence; we return 1.0 so the combined message score (Eq. 3) comes
+    out exactly 0.5.
+    """
+    if not scores:
+        return 1.0
+    statistic = -2.0 * ln_product(scores)
+    return chi2q(statistic, 2 * len(scores))

@@ -1,0 +1,333 @@
+"""The SpamBayes learner: Robinson scores + Fisher's chi-square method.
+
+This is the algorithm of Section 2.3 of the paper, the component every
+attack in Sections 3-4 manipulates.
+
+Training statistics
+    For each token ``w`` the classifier tracks ``NS(w)`` / ``NH(w)``
+    (spam / ham training messages containing ``w``) alongside the global
+    ``NS`` / ``NH`` message counts.
+
+Token score (Equations 1-2)
+    The raw score ``PS(w) = NH*NS(w) / (NH*NS(w) + NS*NH(w))`` is the
+    class-size-normalized probability that a message containing ``w``
+    is spam.  It is smoothed toward the prior ``x`` with strength ``s``:
+    ``f(w) = (s*x + N(w)*PS(w)) / (s + N(w))``.
+
+Message score (Equations 3-4)
+    The most significant tokens δ(E) (at most 150, each with
+    ``|f - 0.5| >= 0.1``) are combined with Fisher's method into
+    ``I(E) = (1 + H(E) - S(E)) / 2``, a score in ``[0, 1]`` where 0 is
+    maximally hammy and 1 maximally spammy.
+
+Both :meth:`Classifier.learn` and :meth:`Classifier.unlearn` are
+incremental, which the experiment harness leans on heavily: a fold's
+clean model is trained once and attack batches are layered on top, and
+the RONI defense trains/untrains candidate messages in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence
+
+from repro.errors import TrainingError
+from repro.spambayes.chi2 import fisher_combine
+from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.wordinfo import WordInfo
+
+__all__ = ["Classifier", "TokenScore"]
+
+
+class TokenScore(NamedTuple):
+    """One token's contribution to a message score (evidence record)."""
+
+    token: str
+    spam_prob: float
+
+
+class Classifier:
+    """Incremental SpamBayes token classifier.
+
+    The classifier works on *token streams*; pair it with a
+    :class:`~repro.spambayes.tokenizer.Tokenizer` (or use the
+    :class:`~repro.spambayes.filter.SpamFilter` facade) to classify
+    :class:`~repro.spambayes.message.Email` objects.
+
+    Token presence is what counts: duplicate tokens within one message
+    are collapsed before the statistics are updated or scored.
+    """
+
+    def __init__(self, options: ClassifierOptions = DEFAULT_OPTIONS) -> None:
+        self.options = options
+        self._wordinfo: dict[str, WordInfo] = {}
+        self._nspam = 0
+        self._nham = 0
+        self._prob_cache: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Training state
+    # ------------------------------------------------------------------
+
+    @property
+    def nspam(self) -> int:
+        """NS: number of spam messages trained."""
+        return self._nspam
+
+    @property
+    def nham(self) -> int:
+        """NH: number of ham messages trained."""
+        return self._nham
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens with non-zero training counts."""
+        return len(self._wordinfo)
+
+    def word_info(self, token: str) -> WordInfo | None:
+        """Return the (spamcount, hamcount) record for ``token``, if any."""
+        return self._wordinfo.get(token)
+
+    def iter_vocabulary(self) -> Iterable[str]:
+        return iter(self._wordinfo)
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def learn(self, tokens: Iterable[str], is_spam: bool) -> None:
+        """Add one training message (given as its token stream).
+
+        Duplicate tokens are collapsed; every distinct token's class
+        count is incremented along with the global message count.
+        """
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        if is_spam:
+            self._nspam += 1
+        else:
+            self._nham += 1
+        wordinfo = self._wordinfo
+        if is_spam:
+            for token in unique:
+                record = wordinfo.get(token)
+                if record is None:
+                    record = wordinfo[token] = WordInfo()
+                record.spamcount += 1
+        else:
+            for token in unique:
+                record = wordinfo.get(token)
+                if record is None:
+                    record = wordinfo[token] = WordInfo()
+                record.hamcount += 1
+        # Global counts changed, so every cached f(w) is stale.
+        self._prob_cache.clear()
+
+    def unlearn(self, tokens: Iterable[str], is_spam: bool) -> None:
+        """Remove a previously learned message.
+
+        Raises :class:`TrainingError` if the message cannot have been
+        learned with these tokens/label (a count would go negative) —
+        silently clamping would corrupt every future score.  The check
+        is performed *before* any count is touched, so a failed unlearn
+        leaves the classifier unchanged.
+        """
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        if is_spam:
+            if self._nspam < 1:
+                raise TrainingError("unlearn(spam) with no spam trained")
+        else:
+            if self._nham < 1:
+                raise TrainingError("unlearn(ham) with no ham trained")
+        wordinfo = self._wordinfo
+        for token in unique:
+            record = wordinfo.get(token)
+            count = 0 if record is None else (record.spamcount if is_spam else record.hamcount)
+            if count < 1:
+                raise TrainingError(
+                    f"unlearn would drive count of token {token!r} negative; "
+                    "message was not learned with this label"
+                )
+        if is_spam:
+            self._nspam -= 1
+            for token in unique:
+                record = wordinfo[token]
+                record.spamcount -= 1
+                if record.is_empty():
+                    del wordinfo[token]
+        else:
+            self._nham -= 1
+            for token in unique:
+                record = wordinfo[token]
+                record.hamcount -= 1
+                if record.is_empty():
+                    del wordinfo[token]
+        self._prob_cache.clear()
+
+    def learn_many(self, token_sets: Iterable[Iterable[str]], is_spam: bool) -> int:
+        """Learn a batch of messages with a single label; returns count."""
+        learned = 0
+        for tokens in token_sets:
+            self.learn(tokens, is_spam)
+            learned += 1
+        return learned
+
+    def learn_repeated(self, tokens: Iterable[str], is_spam: bool, count: int) -> None:
+        """Learn ``count`` identical copies of one message in one pass.
+
+        Dictionary attacks inject thousands of messages sharing one huge
+        token set; folding the repetition into a single sweep over the
+        tokens turns an O(count * |tokens|) update into O(|tokens|).
+        The resulting state is exactly what ``count`` calls to
+        :meth:`learn` would produce.
+        """
+        if count < 0:
+            raise TrainingError(f"learn_repeated needs count >= 0, got {count}")
+        if count == 0:
+            return
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        if is_spam:
+            self._nspam += count
+        else:
+            self._nham += count
+        wordinfo = self._wordinfo
+        for token in unique:
+            record = wordinfo.get(token)
+            if record is None:
+                record = wordinfo[token] = WordInfo()
+            if is_spam:
+                record.spamcount += count
+            else:
+                record.hamcount += count
+        self._prob_cache.clear()
+
+    def unlearn_repeated(self, tokens: Iterable[str], is_spam: bool, count: int) -> None:
+        """Reverse :meth:`learn_repeated` with the same arguments.
+
+        Validates before mutating, like :meth:`unlearn`.
+        """
+        if count < 0:
+            raise TrainingError(f"unlearn_repeated needs count >= 0, got {count}")
+        if count == 0:
+            return
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        if is_spam and self._nspam < count:
+            raise TrainingError(f"unlearn_repeated(spam, {count}) with only {self._nspam} trained")
+        if not is_spam and self._nham < count:
+            raise TrainingError(f"unlearn_repeated(ham, {count}) with only {self._nham} trained")
+        wordinfo = self._wordinfo
+        for token in unique:
+            record = wordinfo.get(token)
+            current = 0 if record is None else (record.spamcount if is_spam else record.hamcount)
+            if current < count:
+                raise TrainingError(
+                    f"unlearn_repeated would drive count of token {token!r} negative"
+                )
+        if is_spam:
+            self._nspam -= count
+        else:
+            self._nham -= count
+        for token in unique:
+            record = wordinfo[token]
+            if is_spam:
+                record.spamcount -= count
+            else:
+                record.hamcount -= count
+            if record.is_empty():
+                del wordinfo[token]
+        self._prob_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def raw_spam_score(self, token: str) -> float:
+        """PS(w) of Equation 1; the prior ``x`` for unseen tokens."""
+        record = self._wordinfo.get(token)
+        if record is None or record.total == 0:
+            return self.options.unknown_word_prob
+        return self._raw_score(record)
+
+    def spam_prob(self, token: str) -> float:
+        """f(w) of Equation 2: smoothed token spam score in [0, 1]."""
+        cached = self._prob_cache.get(token)
+        if cached is not None:
+            return cached
+        record = self._wordinfo.get(token)
+        opts = self.options
+        if record is None or record.total == 0:
+            prob = opts.unknown_word_prob
+        else:
+            n = record.total
+            ps = self._raw_score(record)
+            s = opts.unknown_word_strength
+            prob = (s * opts.unknown_word_prob + n * ps) / (s + n)
+        self._prob_cache[token] = prob
+        return prob
+
+    def _raw_score(self, record: WordInfo) -> float:
+        # Degenerate corpora: with no ham trained, any occurrence is pure
+        # spam evidence (and vice versa). SpamBayes normalizes by class
+        # sizes, which this limit preserves.
+        nham = self._nham
+        nspam = self._nspam
+        if nspam == 0 and nham == 0:
+            return self.options.unknown_word_prob
+        spam_ratio = record.spamcount / nspam if nspam else 0.0
+        ham_ratio = record.hamcount / nham if nham else 0.0
+        denominator = spam_ratio + ham_ratio
+        if denominator == 0.0:
+            return self.options.unknown_word_prob
+        return spam_ratio / denominator
+
+    def significant_tokens(self, tokens: Iterable[str]) -> list[TokenScore]:
+        """δ(E): the strongest discriminators among ``tokens``.
+
+        At most ``max_discriminators`` distinct tokens whose score lies
+        at least ``minimum_prob_strength`` away from 0.5, strongest
+        first.  Ties are broken by token text so results are
+        deterministic across runs and platforms.
+        """
+        opts = self.options
+        minimum = opts.minimum_prob_strength
+        scored = []
+        for token in set(tokens):
+            prob = self.spam_prob(token)
+            strength = abs(prob - 0.5)
+            if strength >= minimum:
+                scored.append((strength, token, prob))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [TokenScore(token, prob) for _, token, prob in scored[: opts.max_discriminators]]
+
+    def score(self, tokens: Iterable[str]) -> float:
+        """I(E) of Equation 3 for a message given as its token stream."""
+        return self._combine([ts.spam_prob for ts in self.significant_tokens(tokens)])
+
+    def score_with_evidence(self, tokens: Iterable[str]) -> tuple[float, list[TokenScore]]:
+        """Return ``(I(E), δ(E) evidence)`` — used by analysis & defenses."""
+        evidence = self.significant_tokens(tokens)
+        return self._combine([ts.spam_prob for ts in evidence]), evidence
+
+    @staticmethod
+    def _combine(probs: Sequence[float]) -> float:
+        if not probs:
+            return 0.5
+        spam_evidence = fisher_combine(probs)                      # H(E)
+        ham_evidence = fisher_combine([1.0 - p for p in probs])    # S(E)
+        return (1.0 + spam_evidence - ham_evidence) / 2.0
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Classifier":
+        """Deep copy of the training state (options are shared, immutable)."""
+        clone = Classifier(self.options)
+        clone._nspam = self._nspam
+        clone._nham = self._nham
+        clone._wordinfo = {token: record.copy() for token, record in self._wordinfo.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Classifier(nspam={self._nspam}, nham={self._nham}, "
+            f"vocabulary={len(self._wordinfo)})"
+        )

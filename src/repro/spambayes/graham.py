@@ -1,0 +1,105 @@
+"""Graham's original combining scheme ("A Plan for Spam", 2002).
+
+Section 2.3 notes that SpamBayes' Robinson/Fisher scoring is "based on
+ideas by Graham".  Early SpamBayes (and Paul Graham's own filter)
+scored messages quite differently:
+
+* token probability with asymmetric counting — ham occurrences count
+  double (Graham's bias against false positives) — and hard clamping
+  into [0.01, 0.99]; unknown tokens get 0.4;
+* message score as a naive-Bayes odds product over only the **15**
+  most extreme tokens:  ``P = prod(p) / (prod(p) + prod(1-p))``.
+
+Having both combiners share one training state lets the ablation bench
+ask a question the paper leaves open: is the attack an artifact of
+Fisher-style combining, or does it break Graham-style filters just as
+hard?  (It breaks both — the poisoned quantity is the per-token
+statistic both schemes consume.)
+
+:class:`GrahamClassifier` is a drop-in :class:`Classifier` subclass:
+same learn/unlearn, same persistence, different scoring.
+"""
+
+from __future__ import annotations
+
+from repro.spambayes.chi2 import ln_product
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.options import ClassifierOptions
+
+__all__ = ["GRAHAM_OPTIONS", "GrahamClassifier"]
+
+import math
+
+GRAHAM_OPTIONS = ClassifierOptions(
+    unknown_word_prob=0.4,
+    unknown_word_strength=0.0,
+    minimum_prob_strength=0.0,
+    max_discriminators=15,
+    ham_cutoff=0.15,
+    spam_cutoff=0.90,
+)
+"""Graham's constants: 0.4 for unknowns, 15 discriminators, no
+Robinson smoothing (the clamps do that job)."""
+
+_CLAMP_LOW = 0.01
+_CLAMP_HIGH = 0.99
+
+
+class GrahamClassifier(Classifier):
+    """The 2002-vintage scoring rule over the same token statistics."""
+
+    def __init__(self, options: ClassifierOptions = GRAHAM_OPTIONS) -> None:
+        super().__init__(options)
+
+    def spam_prob(self, token: str) -> float:
+        """Graham's token probability with double-counted ham.
+
+        ``p = (b/nbad) / (b/nbad + 2g/ngood)`` clamped to
+        ``[0.01, 0.99]``; tokens seen fewer than GRAHAM-minimum times
+        overall (fewer than 1 here — Graham used 5 in production, but
+        the paper-era SpamBayes port used 1) fall back to 0.4.
+        """
+        cached = self._prob_cache.get(token)
+        if cached is not None:
+            return cached
+        record = self._wordinfo.get(token)
+        if record is None or record.total == 0 or (self._nspam == 0 and self._nham == 0):
+            prob = self.options.unknown_word_prob
+        else:
+            bad_ratio = record.spamcount / self._nspam if self._nspam else 0.0
+            good_ratio = (2.0 * record.hamcount) / self._nham if self._nham else 0.0
+            denominator = bad_ratio + good_ratio
+            if denominator == 0.0:
+                prob = self.options.unknown_word_prob
+            else:
+                prob = bad_ratio / denominator
+                prob = max(_CLAMP_LOW, min(_CLAMP_HIGH, prob))
+        self._prob_cache[token] = prob
+        return prob
+
+    @staticmethod
+    def _combine(probs) -> float:
+        """Naive-Bayes odds product, computed in log space.
+
+        ``prod(p)`` underflows for long clue lists, so compare
+        ``sum(ln p)`` against ``sum(ln (1-p))`` and convert back
+        through the logistic form.
+        """
+        if not probs:
+            return 0.5
+        log_spam = ln_product(probs)
+        log_ham = ln_product([1.0 - p for p in probs])
+        # P = e^s / (e^s + e^h) = 1 / (1 + e^(h - s))
+        difference = log_ham - log_spam
+        if difference > 700.0:
+            return 0.0
+        if difference < -700.0:
+            return 1.0
+        return 1.0 / (1.0 + math.exp(difference))
+
+    def copy(self) -> "GrahamClassifier":
+        clone = GrahamClassifier(self.options)
+        clone._nspam = self._nspam
+        clone._nham = self._nham
+        clone._wordinfo = {token: record.copy() for token, record in self._wordinfo.items()}
+        return clone

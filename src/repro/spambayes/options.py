@@ -1,0 +1,74 @@
+"""Tunable options of the SpamBayes learner.
+
+The defaults reproduce the configuration used by the paper (and by
+SpamBayes 1.0.x):
+
+* ``unknown_word_prob`` — Robinson's prior belief ``x`` in Eq. 2,
+* ``unknown_word_strength`` — the prior strength ``s`` in Eq. 2,
+* ``max_discriminators`` and ``minimum_prob_strength`` — the δ(E)
+  selection rule of footnote 3: at most 150 tokens, each with score
+  further than 0.1 from 0.5 (i.e. outside ``[0.4, 0.6]``),
+* ``ham_cutoff`` / ``spam_cutoff`` — the θ0/θ1 thresholds of Section
+  2.3, with the paper's defaults 0.15 and 0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ClassifierOptions", "DEFAULT_OPTIONS"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifierOptions:
+    """Immutable bundle of learner hyper-parameters.
+
+    Instances are cheap value objects; derive variants with
+    :meth:`with_cutoffs` or :func:`dataclasses.replace` rather than
+    mutating.
+    """
+
+    unknown_word_prob: float = 0.5
+    unknown_word_strength: float = 0.45
+    minimum_prob_strength: float = 0.1
+    max_discriminators: int = 150
+    ham_cutoff: float = 0.15
+    spam_cutoff: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.unknown_word_prob <= 1.0:
+            raise ConfigurationError(
+                f"unknown_word_prob must be in [0, 1], got {self.unknown_word_prob}"
+            )
+        if self.unknown_word_strength < 0.0:
+            raise ConfigurationError(
+                f"unknown_word_strength must be >= 0, got {self.unknown_word_strength}"
+            )
+        if not 0.0 <= self.minimum_prob_strength <= 0.5:
+            raise ConfigurationError(
+                "minimum_prob_strength must be in [0, 0.5], got "
+                f"{self.minimum_prob_strength}"
+            )
+        if self.max_discriminators < 1:
+            raise ConfigurationError(
+                f"max_discriminators must be >= 1, got {self.max_discriminators}"
+            )
+        if not 0.0 <= self.ham_cutoff <= self.spam_cutoff <= 1.0:
+            raise ConfigurationError(
+                "cutoffs must satisfy 0 <= ham_cutoff <= spam_cutoff <= 1, got "
+                f"ham_cutoff={self.ham_cutoff}, spam_cutoff={self.spam_cutoff}"
+            )
+
+    def with_cutoffs(self, ham_cutoff: float, spam_cutoff: float) -> "ClassifierOptions":
+        """Return a copy with new θ0/θ1 thresholds.
+
+        This is the hook the dynamic-threshold defense uses: the learner
+        state is unchanged, only the decision boundaries move.
+        """
+        return replace(self, ham_cutoff=ham_cutoff, spam_cutoff=spam_cutoff)
+
+
+DEFAULT_OPTIONS = ClassifierOptions()
+"""The paper's configuration: s=0.45, x=0.5, 150 discriminators, θ=(0.15, 0.9)."""

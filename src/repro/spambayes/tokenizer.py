@@ -1,0 +1,211 @@
+"""Email tokenization in the style of SpamBayes.
+
+The paper notes (footnote 1) that the main difference between the
+SpamBayes / BogoFilter / SpamAssassin learners is tokenization, and the
+attacks are defined over the token space, so the tokenizer matters.
+This module reproduces the behaviours of the SpamBayes tokenizer that
+the attacks and experiments exercise:
+
+* body words are split on whitespace, lowercased, and kept when their
+  length is in ``[min_token_length, max_token_length]`` (3..12 by
+  default);
+* overlong words do not vanish — they become ``skip:<c> <n>`` tokens
+  recording the first character and the length bucket, so an attacker
+  cannot smuggle content past the learner with giant blobs;
+* URLs decompose into ``proto:``, ``url:host`` and ``url:path`` pieces;
+* email addresses decompose into local part and domain pieces;
+* header values are tokenized with a per-header prefix
+  (``subject:word``, ``from:addr:example.com``, ...) so that body text
+  cannot impersonate header evidence — this is why the contamination
+  assumption (attacker controls bodies, not headers) leaves the header
+  token space clean.
+
+Tokens are plain strings.  :meth:`Tokenizer.tokenize` returns a list
+(the multiset); the classifier reduces it to a set because Robinson's
+model is presence/absence (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.spambayes.message import Email
+
+__all__ = ["TokenizerOptions", "Tokenizer", "tokenize_text", "DEFAULT_TOKENIZER"]
+
+_URL_RE = re.compile(r"(?:(https?|ftp)://|www\.)([^\s<>\"']+)", re.IGNORECASE)
+_EMAIL_RE = re.compile(r"([\w.+-]+)@([\w-]+(?:\.[\w-]+)+)")
+_WORD_SPLIT_RE = re.compile(r"[\s]+")
+_NON_ALNUM_EDGE_RE = re.compile(r"^\W+|\W+$")
+_SUBTOKEN_SPLIT_RE = re.compile(r"[^\w']+")
+_MONEY_RE = re.compile(r"^\$\d[\d,]*(?:\.\d+)?$")
+
+
+@dataclass(frozen=True, slots=True)
+class TokenizerOptions:
+    """Knobs of the tokenizer.
+
+    ``tokenized_headers`` lists the headers whose *values* are worth
+    tokenizing; anything else only contributes a presence token when
+    ``record_header_presence`` is set (mirroring SpamBayes' behaviour of
+    noticing unusual mailers without trusting arbitrary header text).
+    """
+
+    min_token_length: int = 3
+    max_token_length: int = 12
+    generate_skip_tokens: bool = True
+    tokenize_headers: bool = True
+    record_header_presence: bool = True
+    tokenized_headers: tuple[str, ...] = (
+        "subject",
+        "from",
+        "to",
+        "cc",
+        "reply-to",
+        "x-mailer",
+    )
+
+
+DEFAULT_TOKENIZER_OPTIONS = TokenizerOptions()
+
+
+class Tokenizer:
+    """Stateless converter from :class:`Email` to token streams."""
+
+    def __init__(self, options: TokenizerOptions = DEFAULT_TOKENIZER_OPTIONS) -> None:
+        self.options = options
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def tokenize(self, email: Email) -> list[str]:
+        """Tokenize header and body of ``email`` into a token list."""
+        tokens = list(self.tokenize_body(email.body))
+        if self.options.tokenize_headers:
+            tokens.extend(self.tokenize_headers(email))
+        return tokens
+
+    def tokenize_body(self, text: str) -> Iterator[str]:
+        """Yield body tokens for raw text."""
+        for chunk in _WORD_SPLIT_RE.split(text):
+            if not chunk:
+                continue
+            yield from self._tokenize_chunk(chunk)
+
+    def tokenize_headers(self, email: Email) -> Iterator[str]:
+        """Yield prefixed tokens for the headers of ``email``."""
+        wanted = set(self.options.tokenized_headers)
+        for name, value in email.iter_headers():
+            lowered = name.lower()
+            if lowered in wanted:
+                yield from self._tokenize_header_value(lowered, value)
+            elif self.options.record_header_presence:
+                yield f"header:{lowered}:1"
+
+    # ------------------------------------------------------------------
+    # Body pieces
+    # ------------------------------------------------------------------
+
+    def _tokenize_chunk(self, chunk: str) -> Iterator[str]:
+        url_match = _URL_RE.search(chunk)
+        if url_match:
+            yield from self._tokenize_url(url_match)
+            return
+        email_match = _EMAIL_RE.search(chunk)
+        if email_match:
+            yield from self._tokenize_address("email", email_match)
+            return
+        if _MONEY_RE.match(chunk):
+            yield "money:$"
+            return
+        word = _NON_ALNUM_EDGE_RE.sub("", chunk).lower()
+        if not word:
+            return
+        yield from self._emit_word(word)
+        # Punctuation-joined compounds ("buy-now!!cheap") also contribute
+        # their parts, like SpamBayes' split-on-non-alnum pass.
+        if any(not ch.isalnum() and ch != "'" for ch in word):
+            for part in _SUBTOKEN_SPLIT_RE.split(word):
+                if part and part != word:
+                    yield from self._emit_word(part)
+
+    def _emit_word(self, word: str) -> Iterator[str]:
+        opts = self.options
+        length = len(word)
+        if length < opts.min_token_length:
+            return
+        if length > opts.max_token_length:
+            if opts.generate_skip_tokens:
+                bucket = (length // 10) * 10
+                yield f"skip:{word[0]} {bucket}"
+            return
+        yield word
+
+    def _tokenize_url(self, match: re.Match[str]) -> Iterator[str]:
+        proto = (match.group(1) or "http").lower()
+        rest = match.group(2)
+        yield f"proto:{proto}"
+        host, _, path = rest.partition("/")
+        host = host.lower().strip(".")
+        if host:
+            yield f"url:{host}"
+            # Domain suffix pieces let the learner generalize over hosts.
+            pieces = host.split(".")
+            for start in range(1, len(pieces) - 1):
+                yield f"url:{'.'.join(pieces[start:])}"
+        for component in _SUBTOKEN_SPLIT_RE.split(path.lower()):
+            if len(component) >= self.options.min_token_length:
+                yield f"url:{component}"
+
+    def _tokenize_address(self, prefix: str, match: re.Match[str]) -> Iterator[str]:
+        local, domain = match.group(1).lower(), match.group(2).lower()
+        yield f"{prefix} name:{local}"
+        yield f"{prefix} addr:{domain}"
+        pieces = domain.split(".")
+        for start in range(1, len(pieces) - 1):
+            yield f"{prefix} addr:{'.'.join(pieces[start:])}"
+
+    # ------------------------------------------------------------------
+    # Header pieces
+    # ------------------------------------------------------------------
+
+    def _tokenize_header_value(self, name: str, value: str) -> Iterator[str]:
+        if name in ("from", "to", "cc", "reply-to"):
+            yield from self._tokenize_address_header(name, value)
+            return
+        # Subject-like headers: tokenize words, keep short words too —
+        # SpamBayes deliberately keeps even 1-character subject tokens
+        # because subjects are short and dense with signal.
+        for chunk in _SUBTOKEN_SPLIT_RE.split(value.lower()):
+            if chunk:
+                yield f"{name}:{chunk}"
+
+    def _tokenize_address_header(self, name: str, value: str) -> Iterator[str]:
+        email_match = _EMAIL_RE.search(value)
+        if email_match:
+            local, domain = email_match.group(1).lower(), email_match.group(2).lower()
+            yield f"{name}:addr:{local}"
+            yield f"{name}:addr:{domain}"
+        else:
+            yield f"{name}:no-address"
+        display = _EMAIL_RE.sub("", value)
+        for chunk in _SUBTOKEN_SPLIT_RE.split(display.lower()):
+            if len(chunk) >= 2:
+                yield f"{name}:name:{chunk}"
+
+
+DEFAULT_TOKENIZER = Tokenizer()
+"""Shared default tokenizer instance (stateless, safe to share)."""
+
+
+def tokenize_text(text: str, tokenizer: Tokenizer | None = None) -> list[str]:
+    """Tokenize raw wire-format text (or a bare body) into tokens.
+
+    Convenience wrapper: parses ``text`` as an :class:`Email` first so
+    header tokens are produced when the text has headers.
+    """
+    email = Email.from_text(text)
+    return (tokenizer or DEFAULT_TOKENIZER).tokenize(email)

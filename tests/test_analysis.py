@@ -1,0 +1,123 @@
+"""Tests for the analysis layer: token shifts (Figure 4) and plots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import ascii_bar_chart, ascii_line_chart, ascii_scatter
+from repro.analysis.token_shift import token_shift_analysis
+from repro.attacks.focused import FocusedAttack
+from repro.rng import SeedSpawner
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.filter import Label
+
+
+class TestTokenShift:
+    @pytest.fixture(scope="class")
+    def setup(self, small_corpus):
+        rng = SeedSpawner(71).rng("inbox")
+        inbox = small_corpus.dataset.sample_inbox(400, 0.5, rng)
+        classifier = Classifier()
+        for message in inbox:
+            classifier.learn(message.tokens(), message.is_spam)
+        inbox_ids = {m.msgid for m in inbox}
+        target = next(m for m in small_corpus.dataset.ham if m.msgid not in inbox_ids)
+        attack = FocusedAttack(
+            target.email,
+            guess_probability=0.5,
+            header_pool=[m.email for m in inbox.spam[:50]],
+        )
+        batch = attack.generate(30, SeedSpawner(72).rng("a"))
+        return classifier, target, batch
+
+    def test_included_tokens_rise(self, setup):
+        classifier, target, batch = setup
+        report = token_shift_analysis(classifier, target.email, batch)
+        assert report.included_shifts
+        assert report.mean_delta(included=True) > 0.2
+
+    def test_excluded_tokens_dip_slightly(self, setup):
+        classifier, target, batch = setup
+        report = token_shift_analysis(classifier, target.email, batch)
+        assert report.excluded_shifts
+        assert -0.2 < report.mean_delta(included=False) <= 0.05
+
+    def test_message_score_rises(self, setup):
+        classifier, target, batch = setup
+        report = token_shift_analysis(classifier, target.email, batch)
+        assert report.score_after > report.score_before
+        assert report.label_before is Label.HAM
+
+    def test_classifier_state_restored(self, setup):
+        classifier, target, batch = setup
+        before = (classifier.nspam, classifier.nham, classifier.vocabulary_size)
+        score_before = classifier.score(target.tokens())
+        token_shift_analysis(classifier, target.email, batch)
+        assert (classifier.nspam, classifier.nham, classifier.vocabulary_size) == before
+        assert classifier.score(target.tokens()) == score_before
+
+    def test_histograms_count_all_tokens(self, setup):
+        classifier, target, batch = setup
+        report = token_shift_analysis(classifier, target.email, batch)
+        assert sum(report.histogram(after=False)) == len(report.shifts)
+        assert sum(report.histogram(after=True)) == len(report.shifts)
+
+    def test_render_contains_panel_elements(self, setup):
+        classifier, target, batch = setup
+        report = token_shift_analysis(classifier, target.email, batch)
+        text = report.render()
+        assert "token score before attack" in text
+        assert "score hist before" in text
+        assert target.msgid in text
+
+
+class TestAsciiLineChart:
+    def test_renders_series_and_legend(self):
+        chart = ascii_line_chart(
+            {"up": [(0, 0.0), (5, 0.5), (10, 1.0)], "flat": [(0, 0.2), (10, 0.2)]},
+            title="test chart",
+        )
+        assert "test chart" in chart
+        assert "o=up" in chart
+        assert "*=flat" in chart
+
+    def test_empty_series(self):
+        assert ascii_line_chart({}) == "(no data)"
+
+    def test_auto_y_range(self):
+        chart = ascii_line_chart({"a": [(0, 5.0), (1, 10.0)]}, y_range=None)
+        assert "10" in chart
+
+    def test_y_range_rendered(self):
+        chart = ascii_line_chart({"a": [(0, 0.5)]})
+        assert "1.00" in chart
+        assert "0.00" in chart
+
+
+class TestAsciiBarChart:
+    def test_renders_groups(self):
+        chart = ascii_bar_chart(
+            {"p=0.1": {"ham": 0.8, "unsure": 0.1, "spam": 0.1}},
+            title="bars",
+        )
+        assert "bars" in chart
+        assert "p=0.1" in chart
+        assert "ham=80%" in chart
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+
+class TestAsciiScatter:
+    def test_markers_present(self):
+        chart = ascii_scatter(
+            [(0.1, 0.9, True), (0.8, 0.7, False)], title="scatter"
+        )
+        assert "scatter" in chart
+        assert "x" in chart
+        assert "o" in chart
+
+    def test_empty_points_render_axes(self):
+        chart = ascii_scatter([])
+        assert "0.00" in chart
+        assert "1.00" in chart

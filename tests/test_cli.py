@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_artifact(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_artifact(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "small"
+        assert args.seed == 0
+        assert args.out is None
+
+    def test_all_artifacts_registered(self):
+        assert set(ARTIFACTS) == {"table1", "figure1", "figure2", "figure3", "roni", "figure5"}
+
+
+class TestExecution:
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "=== table1" in output
+        assert "Dictionary Attack" in output
+        assert "10,000" in output
+
+    def test_out_writes_text_and_json(self, tmp_path, capsys):
+        # figure3 with tiny scale would still be slow; table1 writes txt
+        # only (no record). Use table1 for the txt path and verify the
+        # record path shape with a monkeypatched fast artifact.
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert not (tmp_path / "table1.json").exists()
+
+    def test_duplicate_artifacts_run_once(self, capsys):
+        assert main(["table1", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("=== table1") == 1
+
+    def test_fast_experiment_roundtrip(self, tmp_path, capsys, monkeypatch):
+        """Run a real (but tiny) figure3 through the CLI and check the
+        JSON record parses."""
+        from repro.experiments.focused_exp import FocusedExperimentConfig
+        import repro.cli as cli
+
+        def tiny_config(scale, seed):
+            return FocusedExperimentConfig(
+                inbox_size=200,
+                n_targets=3,
+                repetitions=1,
+                attack_count=12,
+                corpus_ham=250,
+                corpus_spam=250,
+                size_sweep_fractions=(0.0, 0.05),
+                seed=seed,
+            )
+
+        monkeypatch.setattr(cli, "_focused_config", tiny_config)
+        assert main(["figure3", "--out", str(tmp_path)]) == 0
+        record = json.loads((tmp_path / "figure3.json").read_text())
+        assert record["experiment"] == "figure3-focused-size"
+        assert record["series"][0]["points"]
+        output = capsys.readouterr().out
+        assert "Figure 3" in output

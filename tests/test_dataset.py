@@ -1,0 +1,147 @@
+"""Tests for Dataset operations: sampling, folds, token caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CorpusError
+from repro.rng import SeedSpawner
+from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.spambayes.message import Email
+
+
+def make_dataset(n_ham: int, n_spam: int) -> Dataset:
+    messages = [
+        LabeledMessage(Email.build(body=f"ham words {i}", msgid=f"h{i}"), False)
+        for i in range(n_ham)
+    ]
+    messages += [
+        LabeledMessage(Email.build(body=f"spam words {i}", msgid=f"s{i}"), True)
+        for i in range(n_spam)
+    ]
+    return Dataset(messages, name="test")
+
+
+class TestBasics:
+    def test_counts(self):
+        dataset = make_dataset(3, 5)
+        assert dataset.counts() == (3, 5)
+        assert len(dataset) == 8
+        assert dataset.spam_fraction == pytest.approx(5 / 8)
+
+    def test_ham_spam_views(self):
+        dataset = make_dataset(2, 3)
+        assert all(not m.is_spam for m in dataset.ham)
+        assert all(m.is_spam for m in dataset.spam)
+
+    def test_empty_dataset(self):
+        dataset = Dataset([])
+        assert dataset.spam_fraction == 0.0
+        assert dataset.counts() == (0, 0)
+
+    def test_subset_shares_objects(self):
+        dataset = make_dataset(4, 0)
+        view = dataset.subset([0, 2])
+        assert view[0] is dataset[0]
+        assert view[1] is dataset[2]
+
+    def test_filtered(self):
+        dataset = make_dataset(4, 4)
+        only_spam = dataset.filtered(lambda m: m.is_spam)
+        assert only_spam.counts() == (0, 4)
+
+
+class TestInboxSampling:
+    def test_prevalence_respected(self):
+        dataset = make_dataset(100, 100)
+        inbox = dataset.sample_inbox(50, 0.6, SeedSpawner(1).rng("i"))
+        assert len(inbox) == 50
+        assert inbox.counts() == (20, 30)
+
+    def test_without_replacement(self):
+        dataset = make_dataset(30, 30)
+        inbox = dataset.sample_inbox(40, 0.5, SeedSpawner(1).rng("i"))
+        assert len({m.msgid for m in inbox}) == 40
+
+    def test_insufficient_ham_rejected(self):
+        dataset = make_dataset(5, 100)
+        with pytest.raises(CorpusError):
+            dataset.sample_inbox(50, 0.5, SeedSpawner(1).rng("i"))
+
+    def test_insufficient_spam_rejected(self):
+        dataset = make_dataset(100, 5)
+        with pytest.raises(CorpusError):
+            dataset.sample_inbox(50, 0.5, SeedSpawner(1).rng("i"))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(CorpusError):
+            make_dataset(5, 5).sample_inbox(4, 1.5, SeedSpawner(1).rng("i"))
+
+    def test_deterministic_given_rng(self):
+        dataset = make_dataset(50, 50)
+        a = dataset.sample_inbox(20, 0.5, SeedSpawner(2).rng("x"))
+        b = dataset.sample_inbox(20, 0.5, SeedSpawner(2).rng("x"))
+        assert [m.msgid for m in a] == [m.msgid for m in b]
+
+
+class TestSplitAndFolds:
+    def test_split_partitions(self):
+        dataset = make_dataset(10, 10)
+        first, second = dataset.split(0.5, SeedSpawner(1).rng("s"))
+        assert len(first) == 10 and len(second) == 10
+        ids = {m.msgid for m in first} | {m.msgid for m in second}
+        assert len(ids) == 20
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(CorpusError):
+            make_dataset(4, 4).split(0.0, SeedSpawner(1).rng("s"))
+
+    def test_k_folds_cover_everything_once(self):
+        dataset = make_dataset(13, 12)
+        seen_test_ids: list[str] = []
+        for train, test in dataset.k_folds(5, SeedSpawner(1).rng("f")):
+            train_ids = {m.msgid for m in train}
+            test_ids = {m.msgid for m in test}
+            assert not (train_ids & test_ids)
+            assert len(train_ids) + len(test_ids) == 25
+            seen_test_ids.extend(test_ids)
+        assert len(seen_test_ids) == 25
+        assert len(set(seen_test_ids)) == 25
+
+    def test_k_folds_validation(self):
+        with pytest.raises(CorpusError):
+            list(make_dataset(3, 3).k_folds(1, SeedSpawner(1).rng("f")))
+        with pytest.raises(CorpusError):
+            list(make_dataset(2, 1).k_folds(10, SeedSpawner(1).rng("f")))
+
+    def test_shuffled_preserves_membership(self):
+        dataset = make_dataset(5, 5)
+        shuffled = dataset.shuffled(SeedSpawner(3).rng("sh"))
+        assert {m.msgid for m in shuffled} == {m.msgid for m in dataset}
+
+
+class TestTokenCaching:
+    def test_tokens_cached_once(self):
+        message = LabeledMessage(Email.build(body="some words here"), False)
+        first = message.tokens()
+        assert message.tokens() is first
+
+    def test_invalidate_recomputes(self):
+        message = LabeledMessage(Email.build(body="some words here"), False)
+        first = message.tokens()
+        message.invalidate_tokens()
+        second = message.tokens()
+        assert second == first
+        assert second is not first
+
+    def test_tokenize_all_warms_cache(self):
+        dataset = make_dataset(3, 3)
+        dataset.tokenize_all()
+        for message in dataset:
+            assert message._tokens is not None
+
+    def test_vocabulary_unions_tokens(self):
+        dataset = make_dataset(2, 2)
+        vocab = dataset.vocabulary()
+        assert "ham" in vocab
+        assert "spam" in vocab

@@ -1,0 +1,111 @@
+"""Tests for the SpamFilter facade and threshold logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spambayes.filter import ClassifiedMessage, Label, SpamFilter
+from repro.spambayes.message import Email
+from repro.spambayes.options import ClassifierOptions
+
+
+def train_toy(spam_filter: SpamFilter, repetitions: int = 15) -> None:
+    for i in range(repetitions):
+        spam_filter.train(
+            Email.build(body="cheap pills winner lottery cash", msgid=f"s{i}"), True
+        )
+        spam_filter.train(
+            Email.build(body="project meeting budget review notes", msgid=f"h{i}"), False
+        )
+
+
+class TestThresholds:
+    def test_label_boundaries_inclusive(self):
+        spam_filter = SpamFilter()
+        assert spam_filter.label_for_score(0.15) is Label.HAM
+        assert spam_filter.label_for_score(0.150001) is Label.UNSURE
+        assert spam_filter.label_for_score(0.9) is Label.UNSURE
+        assert spam_filter.label_for_score(0.900001) is Label.SPAM
+        assert spam_filter.label_for_score(0.0) is Label.HAM
+        assert spam_filter.label_for_score(1.0) is Label.SPAM
+
+    def test_paper_defaults(self):
+        spam_filter = SpamFilter()
+        assert spam_filter.ham_cutoff == 0.15
+        assert spam_filter.spam_cutoff == 0.90
+
+    def test_set_thresholds_preserves_learning(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        score_before = spam_filter.score(Email.build(body="cheap pills"))
+        spam_filter.set_thresholds(0.4, 0.6)
+        assert spam_filter.ham_cutoff == 0.4
+        assert spam_filter.score(Email.build(body="cheap pills")) == score_before
+
+    def test_custom_options(self):
+        options = ClassifierOptions(ham_cutoff=0.2, spam_cutoff=0.8)
+        spam_filter = SpamFilter(options=options)
+        assert spam_filter.label_for_score(0.85) is Label.SPAM
+
+
+class TestClassification:
+    def test_three_way_labels(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        assert spam_filter.classify(Email.build(body="cheap pills lottery")).label is Label.SPAM
+        assert spam_filter.classify(Email.build(body="project meeting notes")).label is Label.HAM
+        assert spam_filter.classify(Email.build(body="unrelated gibberish words")).label is Label.UNSURE
+
+    def test_evidence_returned_on_request(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        result = spam_filter.classify(Email.build(body="cheap pills"), with_evidence=True)
+        assert result.evidence
+        assert all(0.0 <= ts.spam_prob <= 1.0 for ts in result.evidence)
+        tokens = {ts.token for ts in result.evidence}
+        assert "cheap" in tokens
+
+    def test_no_evidence_by_default(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        assert spam_filter.classify(Email.build(body="cheap")).evidence == ()
+
+    def test_is_filtered_property(self):
+        assert not ClassifiedMessage(Label.HAM, 0.01).is_filtered
+        assert ClassifiedMessage(Label.UNSURE, 0.5).is_filtered
+        assert ClassifiedMessage(Label.SPAM, 0.99).is_filtered
+
+    def test_classify_tokens_matches_classify(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        email = Email.build(body="cheap meeting pills", subject="hello")
+        direct = spam_filter.classify(email)
+        via_tokens = spam_filter.classify_tokens(spam_filter.tokenizer.tokenize(email))
+        assert direct.score == via_tokens.score
+        assert direct.label is via_tokens.label
+
+
+class TestTrainUntrain:
+    def test_untrain_reverses_train(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        email = Email.build(body="brand new words here", msgid="x")
+        probe = Email.build(body="brand new words")
+        score_before = spam_filter.score(probe)
+        spam_filter.train(email, True)
+        assert spam_filter.score(probe) != score_before
+        spam_filter.untrain(email, True)
+        assert spam_filter.score(probe) == score_before
+
+    def test_train_many_counts(self):
+        spam_filter = SpamFilter()
+        emails = [Email.build(body=f"word{i} filler text", msgid=str(i)) for i in range(5)]
+        assert spam_filter.train_many(emails, True) == 5
+        assert spam_filter.classifier.nspam == 5
+
+    def test_copy_independent(self):
+        spam_filter = SpamFilter()
+        train_toy(spam_filter)
+        clone = spam_filter.copy()
+        clone.train(Email.build(body="extra spam words", msgid="e"), True)
+        assert clone.classifier.nspam == spam_filter.classifier.nspam + 1

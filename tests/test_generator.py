@@ -1,0 +1,97 @@
+"""Tests for the email generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.corpus.generator import EmailGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def generator(request) -> EmailGenerator:
+    from repro.corpus.vocabulary import TINY_PROFILE, Vocabulary
+
+    vocabulary = Vocabulary.build(TINY_PROFILE, seed=42)
+    return EmailGenerator(vocabulary, seed=11)
+
+
+class TestConfigValidation:
+    def test_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(spam_url_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(spam_money_probability=-0.1)
+
+    def test_bad_subject_tokens(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(subject_tokens=(5, 2))
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(subject_tokens=(0, 3))
+
+
+class TestHamEmails:
+    def test_deterministic_by_index(self, generator):
+        assert generator.ham_email(3).as_text() == generator.ham_email(3).as_text()
+
+    def test_distinct_indices_distinct_messages(self, generator):
+        assert generator.ham_email(0).body != generator.ham_email(1).body
+
+    def test_msgid_format(self, generator):
+        assert generator.ham_email(12).msgid == "ham-000012"
+
+    def test_standard_headers_present(self, generator):
+        email = generator.ham_email(0)
+        assert email.get_header("From")
+        assert email.get_header("To") == GeneratorConfig().victim_address
+        assert email.get_header("Subject")
+        assert email.get_header("Date")
+        assert email.get_header("Message-ID")
+        assert email.get_header("X-Mailer")
+
+    def test_sender_uses_ham_domains(self, generator):
+        domains = GeneratorConfig().ham_domains
+        for index in range(10):
+            sender = generator.ham_email(index).sender
+            assert any(sender.endswith(domain) for domain in domains)
+
+    def test_bodies_wrapped(self, generator):
+        email = generator.ham_email(1)
+        assert all(len(line) <= 80 for line in email.body.split("\n"))
+
+
+class TestSpamEmails:
+    def test_msgid_format(self, generator):
+        assert generator.spam_email(7).msgid == "spam-000007"
+
+    def test_spam_senders_not_corporate(self, generator):
+        ham_domains = GeneratorConfig().ham_domains
+        for index in range(10):
+            sender = generator.spam_email(index).sender
+            assert not any(sender.endswith(domain) for domain in ham_domains)
+
+    def test_some_spam_has_urls(self, generator):
+        bodies = [generator.spam_email(i).body for i in range(30)]
+        assert any("http://" in body for body in bodies)
+
+    def test_some_spam_has_money(self, generator):
+        bodies = [generator.spam_email(i).body for i in range(30)]
+        assert any("$" in body for body in bodies)
+
+    def test_no_xmailer_header(self, generator):
+        assert generator.spam_email(0).get_header("X-Mailer") is None
+
+
+class TestCrossGeneratorDeterminism:
+    def test_same_seed_same_output(self, generator):
+        from repro.corpus.vocabulary import TINY_PROFILE, Vocabulary
+
+        other = EmailGenerator(Vocabulary.build(TINY_PROFILE, seed=42), seed=11)
+        assert other.ham_email(5).as_text() == generator.ham_email(5).as_text()
+        assert other.spam_email(5).as_text() == generator.spam_email(5).as_text()
+
+    def test_different_seed_different_output(self, generator):
+        from repro.corpus.vocabulary import TINY_PROFILE, Vocabulary
+
+        other = EmailGenerator(Vocabulary.build(TINY_PROFILE, seed=42), seed=12)
+        assert other.ham_email(5).as_text() != generator.ham_email(5).as_text()

@@ -1,0 +1,150 @@
+"""Tests for options validation, WordInfo, and persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.persistence import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    save_classifier,
+)
+from repro.spambayes.wordinfo import WordInfo
+
+
+class TestOptions:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_OPTIONS.unknown_word_prob == 0.5
+        assert DEFAULT_OPTIONS.unknown_word_strength == 0.45
+        assert DEFAULT_OPTIONS.minimum_prob_strength == 0.1
+        assert DEFAULT_OPTIONS.max_discriminators == 150
+        assert DEFAULT_OPTIONS.ham_cutoff == 0.15
+        assert DEFAULT_OPTIONS.spam_cutoff == 0.90
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"unknown_word_prob": 1.5},
+            {"unknown_word_prob": -0.1},
+            {"unknown_word_strength": -1.0},
+            {"minimum_prob_strength": 0.6},
+            {"max_discriminators": 0},
+            {"ham_cutoff": 0.95, "spam_cutoff": 0.9},
+            {"ham_cutoff": -0.1},
+            {"spam_cutoff": 1.1},
+        ],
+    )
+    def test_invalid_options_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClassifierOptions(**kwargs)
+
+    def test_with_cutoffs(self):
+        derived = DEFAULT_OPTIONS.with_cutoffs(0.3, 0.7)
+        assert derived.ham_cutoff == 0.3
+        assert derived.spam_cutoff == 0.7
+        assert derived.unknown_word_strength == DEFAULT_OPTIONS.unknown_word_strength
+        assert DEFAULT_OPTIONS.ham_cutoff == 0.15  # original untouched
+
+
+class TestWordInfo:
+    def test_total(self):
+        assert WordInfo(3, 4).total == 7
+
+    def test_is_empty(self):
+        assert WordInfo().is_empty()
+        assert not WordInfo(1, 0).is_empty()
+
+    def test_copy_and_equality(self):
+        record = WordInfo(2, 5)
+        clone = record.copy()
+        assert record == clone
+        clone.spamcount += 1
+        assert record != clone
+
+    def test_equality_with_other_types(self):
+        assert WordInfo(1, 1) != "not a wordinfo"
+
+
+class TestPersistence:
+    def _trained(self) -> Classifier:
+        classifier = Classifier()
+        for _ in range(3):
+            classifier.learn({"cash", "offer"}, True)
+            classifier.learn({"meeting", "notes"}, False)
+        return classifier
+
+    def test_dict_roundtrip(self):
+        original = self._trained()
+        restored = classifier_from_dict(classifier_to_dict(original))
+        assert restored.nspam == original.nspam
+        assert restored.nham == original.nham
+        assert restored.spam_prob("cash") == original.spam_prob("cash")
+        assert restored.score({"cash", "meeting"}) == original.score({"cash", "meeting"})
+
+    def test_file_roundtrip_plain(self, tmp_path):
+        original = self._trained()
+        path = tmp_path / "db.json"
+        save_classifier(original, path)
+        restored = load_classifier(path)
+        assert restored.vocabulary_size == original.vocabulary_size
+
+    def test_file_roundtrip_gzip(self, tmp_path):
+        original = self._trained()
+        path = tmp_path / "db.json.gz"
+        save_classifier(original, path)
+        restored = load_classifier(path)
+        assert restored.score({"cash"}) == original.score({"cash"})
+
+    def test_gzip_smaller_for_large_db(self, tmp_path):
+        classifier = Classifier()
+        classifier.learn({f"token{i}" for i in range(5000)}, True)
+        plain, gz = tmp_path / "db.json", tmp_path / "db.json.gz"
+        save_classifier(classifier, plain)
+        save_classifier(classifier, gz)
+        assert gz.stat().st_size < plain.stat().st_size
+
+    def test_options_preserved(self, tmp_path):
+        classifier = Classifier(ClassifierOptions(ham_cutoff=0.25, spam_cutoff=0.8))
+        classifier.learn({"a", "b", "c"}, True)
+        path = tmp_path / "db.json"
+        save_classifier(classifier, path)
+        assert load_classifier(path).options.ham_cutoff == 0.25
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(PersistenceError):
+            classifier_from_dict({"format": "bogus-v9"})
+
+    def test_corrupt_dump_rejected(self):
+        with pytest.raises(PersistenceError):
+            classifier_from_dict(
+                {"format": "repro-spambayes-v1", "nspam": "x", "nham": 0,
+                 "options": {}, "words": {}}
+            )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(PersistenceError):
+            classifier_from_dict(
+                {
+                    "format": "repro-spambayes-v1",
+                    "nspam": -1,
+                    "nham": 0,
+                    "options": {},
+                    "words": {},
+                }
+            )
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            load_classifier(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_classifier(tmp_path / "absent.json")

@@ -1,0 +1,127 @@
+"""Cross-module property-based invariants.
+
+These hypothesis tests exercise the couplings the experiments rely on:
+batched vs sequential training equivalence, attack train/untrain
+round-trips, prefix-training consistency, and persistence fidelity
+under arbitrary training histories.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.base import AttackBatch, AttackMessageGroup
+from repro.experiments.crossval import _IncrementalAttackTrainer
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.persistence import classifier_from_dict, classifier_to_dict
+
+token_sets = st.sets(st.sampled_from([f"w{i}" for i in range(25)]), min_size=1, max_size=8)
+histories = st.lists(st.tuples(token_sets, st.booleans()), min_size=1, max_size=25)
+
+
+def _state(classifier: Classifier) -> tuple:
+    vocabulary = {
+        token: (classifier.word_info(token).spamcount, classifier.word_info(token).hamcount)
+        for token in classifier.iter_vocabulary()
+    }
+    return classifier.nspam, classifier.nham, vocabulary
+
+
+@given(history=histories, tokens=token_sets, count=st.integers(min_value=1, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_learn_repeated_equals_sequential(history, tokens, count):
+    sequential = Classifier()
+    batched = Classifier()
+    for message_tokens, is_spam in history:
+        sequential.learn(message_tokens, is_spam)
+        batched.learn(message_tokens, is_spam)
+    for _ in range(count):
+        sequential.learn(tokens, True)
+    batched.learn_repeated(tokens, True, count)
+    assert _state(sequential) == _state(batched)
+    probe = set(list(tokens)[:3]) | {"w0"}
+    assert sequential.score(probe) == batched.score(probe)
+
+
+@given(
+    history=histories,
+    groups=st.lists(
+        st.tuples(token_sets, st.integers(min_value=1, max_value=5)),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_attack_batch_roundtrip(history, groups):
+    classifier = Classifier()
+    for message_tokens, is_spam in history:
+        classifier.learn(message_tokens, is_spam)
+    snapshot = _state(classifier)
+    batch = AttackBatch(
+        "prop",
+        [AttackMessageGroup(tokens=frozenset(t), count=c) for t, c in groups],
+    )
+    batch.train_into(classifier)
+    assert classifier.nspam == snapshot[0] + batch.message_count
+    batch.untrain_from(classifier)
+    assert _state(classifier) == snapshot
+
+
+@given(
+    groups=st.lists(
+        st.tuples(token_sets, st.integers(min_value=1, max_value=6)),
+        min_size=1,
+        max_size=5,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_prefix_equals_fresh_training(groups, data):
+    """Advancing a trainer to N must equal training the first N batch
+    messages from scratch, for any N and any group structure."""
+    batch = AttackBatch(
+        "prop",
+        [AttackMessageGroup(tokens=frozenset(t), count=c) for t, c in groups],
+    )
+    target = data.draw(st.integers(min_value=0, max_value=batch.message_count))
+    incremental = Classifier()
+    incremental.learn({"base"}, False)
+    trainer = _IncrementalAttackTrainer(incremental, batch)
+    trainer.advance_to(target)
+
+    fresh = Classifier()
+    fresh.learn({"base"}, False)
+    remaining = target
+    for group in batch.groups:
+        take = min(group.count, remaining)
+        fresh.learn_repeated(group.training_tokens, True, take)
+        remaining -= take
+        if remaining == 0:
+            break
+    assert _state(incremental) == _state(fresh)
+
+
+@given(history=histories)
+@settings(max_examples=40, deadline=None)
+def test_persistence_is_faithful_for_any_history(history):
+    original = Classifier()
+    for message_tokens, is_spam in history:
+        original.learn(message_tokens, is_spam)
+    restored = classifier_from_dict(classifier_to_dict(original))
+    assert _state(restored) == _state(original)
+    probe = {"w0", "w1", "w2"}
+    assert restored.score(probe) == original.score(probe)
+
+
+@given(history=histories)
+@settings(max_examples=30, deadline=None)
+def test_copy_never_aliases(history):
+    original = Classifier()
+    for message_tokens, is_spam in history:
+        original.learn(message_tokens, is_spam)
+    clone = original.copy()
+    snapshot = _state(original)
+    clone.learn({"w0", "w1"}, True)
+    clone.learn_repeated({"w2"}, False, 3)
+    assert _state(original) == snapshot

@@ -1,0 +1,104 @@
+"""Tests for result serialization and the Table 1 constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.metrics import ConfusionCounts
+from repro.experiments.params import (
+    DICTIONARY_PARAMS,
+    FOCUSED_PARAMS,
+    RONI_PARAMS,
+    TABLE1,
+    THRESHOLD_PARAMS,
+)
+from repro.experiments.results import (
+    CurvePoint,
+    ExperimentRecord,
+    Series,
+    load_record,
+    save_record,
+)
+
+
+class TestTable1:
+    """Pin the paper's Table 1 values."""
+
+    def test_dictionary_column(self):
+        assert DICTIONARY_PARAMS.training_set_sizes == (2_000, 10_000)
+        assert DICTIONARY_PARAMS.test_set_sizes == (200, 1_000)
+        assert DICTIONARY_PARAMS.spam_prevalences == (0.50, 0.75)
+        assert DICTIONARY_PARAMS.attack_fractions == (0.001, 0.005, 0.01, 0.02, 0.05, 0.10)
+        assert DICTIONARY_PARAMS.validation == "10"
+
+    def test_focused_column(self):
+        assert FOCUSED_PARAMS.training_set_sizes == (5_000,)
+        assert FOCUSED_PARAMS.target_emails == 20
+        assert FOCUSED_PARAMS.attack_fractions[0] == 0.02
+        assert FOCUSED_PARAMS.attack_fractions[-1] == 0.50
+        assert len(FOCUSED_PARAMS.attack_fractions) == 25
+
+    def test_roni_column(self):
+        assert RONI_PARAMS.training_set_sizes == (20,)
+        assert RONI_PARAMS.test_set_sizes == (50,)
+        assert RONI_PARAMS.attack_fractions == (0.05,)
+
+    def test_threshold_column(self):
+        assert THRESHOLD_PARAMS.attack_fractions == (0.001, 0.01, 0.05, 0.10)
+        assert THRESHOLD_PARAMS.validation == "5"
+
+    def test_table_has_four_columns(self):
+        assert len(TABLE1) == 4
+
+    def test_as_cells_renders_every_field(self):
+        cells = DICTIONARY_PARAMS.as_cells()
+        assert cells["Training set size"] == "2,000, 10,000"
+        assert cells["Target emails"] == "N/A"
+
+
+class TestCurvePoint:
+    def test_from_confusion(self):
+        confusion = ConfusionCounts(ham_as_ham=8, ham_as_unsure=1, ham_as_spam=1)
+        point = CurvePoint.from_confusion(0.05, confusion)
+        assert point.x == 0.05
+        assert point.ham_as_spam_rate == pytest.approx(0.1)
+        assert point.ham_misclassified_rate == pytest.approx(0.2)
+
+    def test_dict_roundtrip(self):
+        point = CurvePoint(0.1, 0.2, 0.3, 0.4, 0.5)
+        assert CurvePoint.from_dict(point.as_dict()) == point
+
+
+class TestExperimentRecord:
+    def _record(self) -> ExperimentRecord:
+        return ExperimentRecord(
+            experiment="unit-test",
+            config={"size": 10},
+            series=[
+                Series("a", [CurvePoint(0.0, 0.1, 0.2), CurvePoint(1.0, 0.3, 0.4)]),
+                Series("b", [CurvePoint(0.0, 0.0, 0.0)]),
+            ],
+            extras={"note": "hello"},
+        )
+
+    def test_series_named(self):
+        record = self._record()
+        assert record.series_named("a").points[1].x == 1.0
+        with pytest.raises(ExperimentError):
+            record.series_named("missing")
+
+    def test_series_values(self):
+        series = self._record().series_named("a")
+        assert series.xs() == [0.0, 1.0]
+        assert series.values("ham_as_spam_rate") == [0.1, 0.3]
+
+    def test_json_roundtrip(self, tmp_path):
+        record = self._record()
+        path = tmp_path / "record.json"
+        save_record(record, path)
+        loaded = load_record(path)
+        assert loaded.experiment == record.experiment
+        assert loaded.config == record.config
+        assert loaded.extras == record.extras
+        assert loaded.series_named("a").points == record.series_named("a").points

