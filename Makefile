@@ -1,0 +1,28 @@
+# Development entry points.  Everything runs from the repo root and
+# needs only the baked-in toolchain (python + pytest).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench docs-check check
+
+# Tier-1 gate: the full test suite, fail-fast.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Seconds-long proof that the parallel sweep engine reproduces the
+# sequential results (and a rough speedup reading).
+bench-smoke:
+	$(PYTHON) benchmarks/bench_parallel_sweep.py --scale smoke --workers 2
+
+# The full benchmark suite: renders every figure/table artifact into
+# benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fail if README.md / docs/ reference a file or CLI subcommand that
+# does not exist.
+docs-check:
+	$(PYTHON) tools/check_docs_links.py
+
+check: test docs-check bench-smoke

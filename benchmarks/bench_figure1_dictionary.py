@@ -16,21 +16,17 @@ from repro.experiments.dictionary_exp import (
 from repro.experiments.paper_targets import FIGURE1_CLAIMS
 from repro.experiments.reporting import render_dictionary_result
 
-_SMALL = DictionaryExperimentConfig(
-    inbox_size=1_000,
-    folds=3,
-    corpus_ham=700,
-    corpus_spam=700,
-    seed=1,
-)
+def _config(scale: str, seed: int = 1, workers: int = 1) -> DictionaryExperimentConfig:
+    factory = (
+        DictionaryExperimentConfig.paper_scale
+        if scale == "paper"
+        else DictionaryExperimentConfig.small_scale
+    )
+    return factory(seed=seed, workers=workers)
 
 
-def _config(scale: str) -> DictionaryExperimentConfig:
-    return DictionaryExperimentConfig.paper_scale(seed=1) if scale == "paper" else _SMALL
-
-
-def bench_figure1_dictionary_attacks(benchmark, artifacts, scale):
-    config = _config(scale)
+def bench_figure1_dictionary_attacks(benchmark, artifacts, scale, root_seed, workers):
+    config = _config(scale, root_seed, workers)
     result = benchmark.pedantic(
         run_dictionary_experiment, args=(config,), rounds=1, iterations=1
     )

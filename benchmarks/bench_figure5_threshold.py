@@ -15,21 +15,17 @@ from repro.experiments.threshold_exp import (
     run_threshold_experiment,
 )
 
-_SMALL = ThresholdExperimentConfig(
-    inbox_size=1_000,
-    folds=3,
-    corpus_ham=700,
-    corpus_spam=700,
-    seed=5,
-)
+def _config(scale: str, workers: int = 1) -> ThresholdExperimentConfig:
+    factory = (
+        ThresholdExperimentConfig.paper_scale
+        if scale == "paper"
+        else ThresholdExperimentConfig.small_scale
+    )
+    return factory(seed=5, workers=workers)
 
 
-def _config(scale: str) -> ThresholdExperimentConfig:
-    return ThresholdExperimentConfig.paper_scale(seed=5) if scale == "paper" else _SMALL
-
-
-def bench_figure5_threshold_defense(benchmark, artifacts, scale):
-    config = _config(scale)
+def bench_figure5_threshold_defense(benchmark, artifacts, scale, workers):
+    config = _config(scale, workers)
     result = benchmark.pedantic(
         run_threshold_experiment, args=(config,), rounds=1, iterations=1
     )

@@ -12,6 +12,22 @@ Scale is selected with the ``REPRO_SCALE`` environment variable:
 * ``small`` (default) — 1/10-scale corpora, minutes for the whole run;
 * ``paper`` — Table 1 sizes (10,000-message inboxes, 10-fold CV);
   expect a multi-hour run.
+
+Two more knobs, resolved through the engine's shared seeding helpers
+(:mod:`repro.engine.seeding`) and exposed as the ``root_seed`` /
+``workers`` fixtures:
+
+* ``REPRO_SEED`` — root seed (default 1, the historical benchmark
+  seed; ``default`` selects :data:`repro.rng.DEFAULT_SEED`).
+  Currently consumed by the sweep benchmark configs that take the
+  ``root_seed`` fixture (``bench_figure1_dictionary``); the other
+  benchmarks keep their historical hardcoded seeds;
+* ``REPRO_WORKERS`` — worker processes for the experiment engine
+  (default 1; 0 = one per CPU), consumed by the engine-routed sweeps
+  (``bench_figure1_dictionary``, ``bench_figure5_threshold``).
+  Changing it changes wall-clock time only: the emitted artifacts and
+  JSON records are identical, because per-task seeds derive from the
+  root seed, never from scheduling.
 """
 
 from __future__ import annotations
@@ -21,7 +37,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine.runner import resolve_workers
+from repro.engine.seeding import resolve_root_seed
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_ROOT_SEED = 1
+"""Historical root seed of the benchmark suite."""
 
 _collected: list[tuple[str, str]] = []
 
@@ -33,9 +55,39 @@ def repro_scale() -> str:
     return scale
 
 
+def repro_seed() -> int:
+    """Root seed for benchmark configs, via the engine's shared parser."""
+    return resolve_root_seed(os.environ.get("REPRO_SEED"), default=BENCH_ROOT_SEED)
+
+
+def repro_workers() -> int:
+    """Engine worker count for benchmark configs (never affects results).
+
+    Tolerant like :func:`repro_seed`: unset or blank means the default
+    of 1; anything else must parse as an integer.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return resolve_workers(int(raw))
+    except ValueError as exc:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+
+
 @pytest.fixture(scope="session")
 def scale() -> str:
     return repro_scale()
+
+
+@pytest.fixture(scope="session")
+def root_seed() -> int:
+    return repro_seed()
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    return repro_workers()
 
 
 class ArtifactSink:

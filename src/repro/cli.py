@@ -5,11 +5,17 @@ Usage::
     python -m repro table1
     python -m repro figure1 --scale small --seed 3
     python -m repro figure2 figure3 roni
+    python -m repro figure1 --workers 4
     python -m repro all --out results/
 
 Each command runs the corresponding experiment driver, prints the
 rendered artifact (data table + ASCII figure), and — with ``--out`` —
 also writes the text and a machine-readable JSON record.
+
+``--workers N`` fans the experiment's independent units (folds,
+repetitions, targets) out over N processes through
+:mod:`repro.engine`; ``0`` means one per CPU.  Results — text and
+JSON — are identical at any worker count.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ import sys
 from pathlib import Path
 from typing import Callable
 
+from repro.engine.runner import resolve_workers
+from repro.errors import EngineError
 from repro.experiments.dictionary_exp import (
     DictionaryExperimentConfig,
     run_dictionary_experiment,
@@ -46,82 +54,66 @@ from repro.experiments.threshold_exp import (
 __all__ = ["main", "ARTIFACTS"]
 
 
-def _dictionary_config(scale: str, seed: int) -> DictionaryExperimentConfig:
-    if scale == "paper":
-        return DictionaryExperimentConfig.paper_scale(seed=seed)
-    return DictionaryExperimentConfig(
-        inbox_size=1_000, folds=3, corpus_ham=700, corpus_spam=700, seed=seed
+def _dictionary_config(scale: str, seed: int, workers: int = 1) -> DictionaryExperimentConfig:
+    factory = (
+        DictionaryExperimentConfig.paper_scale
+        if scale == "paper"
+        else DictionaryExperimentConfig.small_scale
     )
+    return factory(seed=seed, workers=workers)
 
 
-def _focused_config(scale: str, seed: int) -> FocusedExperimentConfig:
-    if scale == "paper":
-        return FocusedExperimentConfig.paper_scale(seed=seed)
-    return FocusedExperimentConfig(
-        inbox_size=1_000,
-        n_targets=10,
-        repetitions=2,
-        attack_count=60,
-        corpus_ham=700,
-        corpus_spam=700,
-        seed=seed,
+def _focused_config(scale: str, seed: int, workers: int = 1) -> FocusedExperimentConfig:
+    factory = (
+        FocusedExperimentConfig.paper_scale
+        if scale == "paper"
+        else FocusedExperimentConfig.small_scale
     )
+    return factory(seed=seed, workers=workers)
 
 
-def _roni_config(scale: str, seed: int) -> RoniExperimentConfig:
-    if scale == "paper":
-        return RoniExperimentConfig(
-            pool_size=1_000,
-            n_nonattack_spam=120,
-            repetitions_per_variant=15,
-            corpus_ham=1_200,
-            corpus_spam=1_200,
-            seed=seed,
-        )
-    return RoniExperimentConfig(
-        pool_size=400,
-        n_nonattack_spam=60,
-        repetitions_per_variant=6,
-        corpus_ham=400,
-        corpus_spam=400,
-        seed=seed,
+def _roni_config(scale: str, seed: int, workers: int = 1) -> RoniExperimentConfig:
+    factory = (
+        RoniExperimentConfig.paper_scale if scale == "paper" else RoniExperimentConfig.small_scale
     )
+    return factory(seed=seed, workers=workers)
 
 
-def _threshold_config(scale: str, seed: int) -> ThresholdExperimentConfig:
-    if scale == "paper":
-        return ThresholdExperimentConfig.paper_scale(seed=seed)
-    return ThresholdExperimentConfig(
-        inbox_size=1_000, folds=3, corpus_ham=700, corpus_spam=700, seed=seed
+def _threshold_config(scale: str, seed: int, workers: int = 1) -> ThresholdExperimentConfig:
+    factory = (
+        ThresholdExperimentConfig.paper_scale
+        if scale == "paper"
+        else ThresholdExperimentConfig.small_scale
     )
+    return factory(seed=seed, workers=workers)
 
 
-def _run_table1(scale: str, seed: int):
+def _run_table1(scale: str, seed: int, workers: int = 1):
     return None, render_table1(), None
 
 
-def _run_figure1(scale: str, seed: int):
-    result = run_dictionary_experiment(_dictionary_config(scale, seed))
+def _run_figure1(scale: str, seed: int, workers: int = 1):
+    result = run_dictionary_experiment(_dictionary_config(scale, seed, workers))
     return result, render_dictionary_result(result), result.to_record()
 
 
-def _run_figure2(scale: str, seed: int):
-    result = run_focused_knowledge_experiment(_focused_config(scale, seed))
+def _run_figure2(scale: str, seed: int, workers: int = 1):
+    result = run_focused_knowledge_experiment(_focused_config(scale, seed, workers))
     return result, render_focused_knowledge_result(result), result.to_record()
 
 
-def _run_figure3(scale: str, seed: int):
-    result = run_focused_size_experiment(_focused_config(scale, seed))
+def _run_figure3(scale: str, seed: int, workers: int = 1):
+    result = run_focused_size_experiment(_focused_config(scale, seed, workers))
     return result, render_focused_size_result(result), result.to_record()
 
 
-def _run_roni(scale: str, seed: int):
-    result = run_roni_experiment(_roni_config(scale, seed))
+def _run_roni(scale: str, seed: int, workers: int = 1):
+    result = run_roni_experiment(_roni_config(scale, seed, workers))
     return result, render_roni_result(result), result.to_record()
 
 
-def _run_figure5(scale: str, seed: int):
-    result = run_threshold_experiment(_threshold_config(scale, seed))
+def _run_figure5(scale: str, seed: int, workers: int = 1):
+    result = run_threshold_experiment(_threshold_config(scale, seed, workers))
     return result, render_threshold_result(result), result.to_record()
 
 
@@ -136,6 +128,16 @@ ARTIFACTS: dict[str, Callable] = {
 """Artifact name -> runner. ("figure4" panels are produced by
 ``benchmarks/bench_figure4_token_shift.py`` and the focused-attack
 example; they need no sweep, only a rendered analysis.)"""
+
+
+def _workers_arg(value: str) -> int:
+    # Delegate to the engine's own validation so the CLI can't drift
+    # from what ParallelRunner accepts; argparse needs its error type.
+    try:
+        resolve_workers(int(value))
+    except EngineError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return int(value)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes for the experiment engine "
+        "(default 1 = sequential, 0 = one per CPU; results are "
+        "identical at any value)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -174,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         runner = ARTIFACTS[name]
         print(f"=== {name} (scale={args.scale}, seed={args.seed}) ===")
-        _, text, record = runner(args.scale, args.seed)
+        _, text, record = runner(args.scale, args.seed, args.workers)
         print(text)
         print()
         if args.out is not None:

@@ -158,6 +158,31 @@ class Dataset:
             self.subset(order[cut:], name=f"{self.name}/split-b"),
         )
 
+    def k_fold_indices(
+        self, k: int, rng: random.Random
+    ) -> list[tuple[list[int], list[int]]]:
+        """The ``k`` (train, test) partitions as index lists.
+
+        This is what :meth:`k_folds` materializes; the sweep engine
+        ships the index lists to worker processes instead of pickling
+        one dataset view per fold.  Draws from ``rng`` exactly once
+        (the shuffle), so seeding downstream of this call is identical
+        whether folds are consumed lazily or planned up front.
+        """
+        if k < 2:
+            raise CorpusError(f"k_folds needs k >= 2, got {k}")
+        if k > len(self._messages):
+            raise CorpusError(f"k={k} folds but only {len(self._messages)} messages")
+        order = list(range(len(self._messages)))
+        rng.shuffle(order)
+        folds = [order[i::k] for i in range(k)]
+        pairs = []
+        for i in range(k):
+            test_indices = folds[i]
+            train_indices = [idx for j, fold in enumerate(folds) if j != i for idx in fold]
+            pairs.append((train_indices, test_indices))
+        return pairs
+
     def k_folds(
         self, k: int, rng: random.Random
     ) -> Iterator[tuple["Dataset", "Dataset"]]:
@@ -167,16 +192,7 @@ class Dataset:
         stripe as the test set, so every message serves as test data
         exactly once (Section 4.1).
         """
-        if k < 2:
-            raise CorpusError(f"k_folds needs k >= 2, got {k}")
-        if k > len(self._messages):
-            raise CorpusError(f"k={k} folds but only {len(self._messages)} messages")
-        order = list(range(len(self._messages)))
-        rng.shuffle(order)
-        folds = [order[i::k] for i in range(k)]
-        for i in range(k):
-            test_indices = folds[i]
-            train_indices = [idx for j, fold in enumerate(folds) if j != i for idx in fold]
+        for i, (train_indices, test_indices) in enumerate(self.k_fold_indices(k, rng)):
             yield (
                 self.subset(train_indices, name=f"{self.name}/fold{i}-train"),
                 self.subset(test_indices, name=f"{self.name}/fold{i}-test"),

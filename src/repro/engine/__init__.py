@@ -1,0 +1,55 @@
+"""Parallel experiment execution engine.
+
+The experiments of Sections 4-5 decompose into independent, seeded
+units of work — folds of a cross-validated sweep, repetitions of a
+RONI calibration, targets of a focused attack.  This package runs
+those units across worker processes without changing a single result:
+
+* :mod:`repro.engine.runner` — :class:`ParallelRunner`, the one
+  concurrency primitive: map a worker function over tasks with a
+  shared read-only context, results in task order, sequential when
+  ``workers <= 1``;
+* :mod:`repro.engine.seeding` — per-task seed derivation shared with
+  the benchmark harness, so parallel and sequential runs consume
+  identical random streams;
+* :mod:`repro.engine.sweep` — the K-fold attack-sweep engine behind
+  Figures 1 and 5: fold models derived from one shared full-inbox
+  classifier by snapshot/unlearn/restore, deterministic fold fan-out,
+  bulk scoring via :meth:`Classifier.score_many`.
+
+Every experiment driver accepts ``workers`` in its config (surfaced as
+``--workers N`` on the CLI).  The default of 1 runs everything in the
+parent process; any other value changes wall-clock time only.
+"""
+
+from repro.engine.runner import ParallelRunner, resolve_workers
+from repro.engine.seeding import drawn_seeds, resolve_root_seed
+from repro.engine.sweep import (
+    AttackSweepPoint,
+    IncrementalAttackTrainer,
+    SweepResult,
+    SweepSpec,
+    attack_message_count,
+    evaluate_dataset,
+    run_attack_sweeps,
+    sequential_reference_sweep,
+    train_grouped,
+    unlearn_grouped,
+)
+
+__all__ = [
+    "ParallelRunner",
+    "resolve_workers",
+    "drawn_seeds",
+    "resolve_root_seed",
+    "AttackSweepPoint",
+    "IncrementalAttackTrainer",
+    "SweepResult",
+    "SweepSpec",
+    "attack_message_count",
+    "evaluate_dataset",
+    "run_attack_sweeps",
+    "sequential_reference_sweep",
+    "train_grouped",
+    "unlearn_grouped",
+]

@@ -1,0 +1,108 @@
+"""Deterministic fan-out of experiment tasks over worker processes.
+
+:class:`ParallelRunner` is the one concurrency primitive in this
+library.  It maps a picklable worker function over a task list with a
+shared, read-only *context* object, and guarantees:
+
+* **identical results at any worker count** — results are returned in
+  task order, every task carries its own pre-derived seed (see
+  :mod:`repro.engine.seeding`), and workers never share mutable state;
+* **zero overhead in sequential mode** — ``workers <= 1`` runs the
+  exact same worker function inline, in the parent process, with the
+  parent's context object.  The sequential path *is* the parallel path
+  minus the process pool, which is what makes equivalence testable;
+* **one context transfer per worker, not per task** — the context
+  (corpus, trained classifiers, attack objects) is shipped through the
+  pool initializer, so a 10-fold sweep pickles the inbox ``min(workers,
+  tasks)`` times, not 10 times.
+
+The worker function must be a module-level function (picklable by
+reference) of signature ``fn(context, task) -> result``.  Tasks and
+results cross process boundaries, so they must pickle; everything the
+experiment layer ships (datasets, classifiers, attacks, confusion
+counts) does.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.errors import EngineError
+
+__all__ = ["ParallelRunner", "resolve_workers"]
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+# Per-worker-process slots, populated once by the pool initializer.
+_worker_fn: Callable[[Any, Any], Any] | None = None
+_worker_context: Any = None
+
+
+def _initialize_worker(fn: Callable[[Any, Any], Any], context: Any) -> None:
+    global _worker_fn, _worker_context
+    _worker_fn = fn
+    _worker_context = context
+
+
+def _run_indexed_task(index: int, task: Any) -> tuple[int, Any]:
+    assert _worker_fn is not None, "worker used before initialization"
+    return index, _worker_fn(_worker_context, task)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``--workers`` value: ``None``/``0`` means all CPUs."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise EngineError(f"workers must be >= 0 (0 = all CPUs), got {workers}")
+    return workers
+
+
+class ParallelRunner:
+    """Maps ``fn(context, task)`` over tasks, optionally in a process pool."""
+
+    def __init__(self, workers: int | None = 1) -> None:
+        self.workers = resolve_workers(workers)
+
+    def map(
+        self,
+        fn: Callable[[Any, TaskT], ResultT],
+        context: Any,
+        tasks: Sequence[TaskT],
+    ) -> list[ResultT]:
+        """Run every task; return results in task order.
+
+        A worker exception propagates to the caller (with the original
+        traceback rendered by ``concurrent.futures``) and cancels every
+        task still queued, so a failed sweep dies promptly instead of
+        burning through the rest of the fan-out first.
+        """
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [fn(context, task) for task in tasks]
+        results: list[Any] = [None] * len(tasks)
+        max_workers = min(self.workers, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_initialize_worker,
+            initargs=(fn, context),
+        ) as executor:
+            futures = [
+                executor.submit(_run_indexed_task, index, task)
+                for index, task in enumerate(tasks)
+            ]
+            try:
+                for future in as_completed(futures):
+                    index, result = future.result()
+                    results[index] = result
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelRunner(workers={self.workers})"

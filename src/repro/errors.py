@@ -16,6 +16,7 @@ __all__ = [
     "TrainingError",
     "AttackError",
     "DefenseError",
+    "EngineError",
     "ExperimentError",
     "PersistenceError",
 ]
@@ -51,6 +52,10 @@ class AttackError(ReproError):
 
 class DefenseError(ReproError):
     """A defense could not be applied (e.g. not enough calibration data)."""
+
+
+class EngineError(ReproError):
+    """The parallel execution engine was misconfigured or a worker failed."""
 
 
 class ExperimentError(ReproError):

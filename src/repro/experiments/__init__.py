@@ -10,10 +10,18 @@ One module per paper artifact:
 * :mod:`repro.experiments.roni_exp` — the Section 5.1 RONI numbers,
 * :mod:`repro.experiments.threshold_exp` — Figure 5,
 
+two beyond-the-paper drivers:
+
+* :mod:`repro.experiments.goodword_exp` — Lowd & Meek evasion costs
+  (the Exploratory/Integrity quadrant of the Section 3.1 taxonomy),
+* :mod:`repro.experiments.retraining` — the multi-week retraining
+  deployment simulation of the Section 2.1 threat model,
+
 plus shared machinery:
 
 * :mod:`repro.experiments.metrics` — three-way confusion accounting,
-* :mod:`repro.experiments.crossval` — K-fold incremental attack sweeps,
+* :mod:`repro.experiments.crossval` — K-fold incremental attack
+  sweeps (facade over the parallel :mod:`repro.engine`),
 * :mod:`repro.experiments.results` — serializable result records,
 * :mod:`repro.experiments.reporting` — ASCII rendering of results,
 * :mod:`repro.experiments.paper_targets` — the paper's reported values
@@ -21,11 +29,18 @@ plus shared machinery:
 
 All drivers take explicit size parameters with laptop-friendly
 defaults; pass :func:`repro.experiments.params.paper_scale` configs to
-run the full Table-1 sizes.
+run the full Table-1 sizes.  Every config accepts ``workers`` to fan
+its independent units out across processes (results identical at any
+worker count).
 """
 
 from repro.experiments.metrics import ConfusionCounts
-from repro.experiments.crossval import AttackSweepPoint, attack_fraction_sweep, train_grouped
+from repro.experiments.crossval import (
+    AttackSweepPoint,
+    attack_fraction_sweep,
+    train_grouped,
+    unlearn_grouped,
+)
 from repro.experiments.dictionary_exp import (
     DictionaryExperimentConfig,
     DictionaryExperimentResult,
@@ -37,6 +52,17 @@ from repro.experiments.focused_exp import (
     FocusedSizeResult,
     run_focused_knowledge_experiment,
     run_focused_size_experiment,
+)
+from repro.experiments.goodword_exp import (
+    GoodWordExperimentConfig,
+    GoodWordExperimentResult,
+    run_goodword_experiment,
+)
+from repro.experiments.retraining import (
+    RetrainingConfig,
+    RetrainingResult,
+    WeeklyOutcome,
+    run_retraining_simulation,
 )
 from repro.experiments.roni_exp import (
     RoniExperimentConfig,
@@ -54,6 +80,14 @@ __all__ = [
     "AttackSweepPoint",
     "attack_fraction_sweep",
     "train_grouped",
+    "unlearn_grouped",
+    "GoodWordExperimentConfig",
+    "GoodWordExperimentResult",
+    "run_goodword_experiment",
+    "RetrainingConfig",
+    "RetrainingResult",
+    "WeeklyOutcome",
+    "run_retraining_simulation",
     "DictionaryExperimentConfig",
     "DictionaryExperimentResult",
     "run_dictionary_experiment",

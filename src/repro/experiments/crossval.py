@@ -8,30 +8,46 @@ set": a fraction ``f`` corresponds to ``round(N * f / (1 - f))``
 attack messages (1% of a 10,000-message inbox = 101 messages, exactly
 the paper's accounting).
 
-Two optimizations keep paper-scale sweeps tractable without changing
-any result:
+The machinery lives in :mod:`repro.engine.sweep`; this module is the
+experiment-layer facade and keeps the historical names importable.
+:func:`attack_fraction_sweep` routes through the engine, which adds —
+without changing any result —
 
-* *grouped training* (:func:`train_grouped`) — identical token sets
-  collapse into one ``learn_repeated`` call;
-* *incremental contamination* — fractions are swept in ascending
-  order, so each fold's classifier is trained once and attack messages
-  are layered on top batch by batch; the classifier state at each
-  point is identical to training from scratch because learning is
-  order-independent (it only sums counts).
+* *fold models by subtraction* — one full-inbox model shared per
+  sweep; each fold snapshots it, unlearns its held-out stripe, and
+  restores afterwards, instead of retraining K times;
+* *bulk scoring* — held-out folds score through
+  :meth:`Classifier.score_many`;
+* *process fan-out* — ``workers=N`` spreads folds across worker
+  processes with pre-drawn per-fold seeds, bit-identical to
+  ``workers=1`` and to the retained sequential reference
+  (:func:`repro.engine.sweep.sequential_reference_sweep`).
+
+The older optimizations still apply: *grouped training*
+(:func:`train_grouped`) collapses identical token sets into one
+``learn_repeated`` call, and *incremental contamination* sweeps
+fractions in ascending order so attack batches are layered on top of
+each fold's classifier batch by batch (exact, because learning only
+sums counts).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from repro.attacks.base import Attack, AttackBatch
-from repro.corpus.dataset import Dataset, LabeledMessage
-from repro.errors import ExperimentError
-from repro.experiments.metrics import ConfusionCounts
-from repro.spambayes.classifier import Classifier
-from repro.spambayes.filter import Label
+from repro.corpus.dataset import Dataset
+from repro.attacks.base import Attack
+from repro.engine.sweep import (
+    AttackSweepPoint,
+    IncrementalAttackTrainer,
+    SweepSpec,
+    attack_message_count,
+    evaluate_dataset,
+    run_attack_sweeps,
+    train_grouped,
+    unlearn_grouped,
+)
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
 
@@ -39,107 +55,14 @@ __all__ = [
     "AttackSweepPoint",
     "attack_message_count",
     "train_grouped",
+    "unlearn_grouped",
     "evaluate_dataset",
     "attack_fraction_sweep",
 ]
 
-
-def attack_message_count(base_size: int, fraction: float) -> int:
-    """Attack messages needed for ``fraction`` control of training.
-
-    ``fraction`` is attack/(base + attack), the paper's x-axis, so the
-    count is ``base * f / (1 - f)`` rounded.
-    """
-    if not 0.0 <= fraction < 1.0:
-        raise ExperimentError(f"attack fraction must be in [0, 1), got {fraction}")
-    return round(base_size * fraction / (1.0 - fraction))
-
-
-def train_grouped(
-    classifier: Classifier,
-    messages: Iterable[LabeledMessage],
-    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
-) -> None:
-    """Train ``messages``, collapsing identical token sets into one pass."""
-    groups: dict[tuple[bool, frozenset[str]], int] = {}
-    for message in messages:
-        key = (message.is_spam, message.tokens(tokenizer))
-        groups[key] = groups.get(key, 0) + 1
-    for (is_spam, tokens), count in groups.items():
-        classifier.learn_repeated(tokens, is_spam, count)
-
-
-def evaluate_dataset(
-    classifier: Classifier,
-    messages: Iterable[LabeledMessage],
-    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
-    ham_only: bool = False,
-    cutoffs: tuple[float, float] | None = None,
-) -> ConfusionCounts:
-    """Classify ``messages`` and tally a confusion matrix.
-
-    ``cutoffs`` overrides the classifier's (θ0, θ1) without touching
-    its state — the dynamic-threshold experiment evaluates one trained
-    classifier under several threshold fits.
-    """
-    if cutoffs is None:
-        ham_cutoff, spam_cutoff = classifier.options.ham_cutoff, classifier.options.spam_cutoff
-    else:
-        ham_cutoff, spam_cutoff = cutoffs
-    counts = ConfusionCounts()
-    for message in messages:
-        if ham_only and message.is_spam:
-            continue
-        score = classifier.score(message.tokens(tokenizer))
-        if score <= ham_cutoff:
-            label = Label.HAM
-        elif score <= spam_cutoff:
-            label = Label.UNSURE
-        else:
-            label = Label.SPAM
-        counts.record(message.is_spam, label)
-    return counts
-
-
-@dataclass
-class AttackSweepPoint:
-    """Pooled test results at one contamination level."""
-
-    attack_fraction: float
-    attack_message_count: int
-    confusion: ConfusionCounts
-
-
-class _IncrementalAttackTrainer:
-    """Feeds a fold's classifier ever more of one attack batch."""
-
-    def __init__(self, classifier: Classifier, batch: AttackBatch) -> None:
-        self._classifier = classifier
-        self._groups = batch.groups
-        self._group_index = 0
-        self._used_in_group = 0
-        self.trained = 0
-
-    def advance_to(self, target: int) -> None:
-        """Train messages until ``target`` of the batch are in effect."""
-        if target < self.trained:
-            raise ExperimentError(
-                f"attack sweep must be ascending: asked for {target} after {self.trained}"
-            )
-        while self.trained < target:
-            if self._group_index >= len(self._groups):
-                raise ExperimentError(
-                    f"attack batch exhausted at {self.trained} of {target} messages"
-                )
-            group = self._groups[self._group_index]
-            available = group.count - self._used_in_group
-            take = min(available, target - self.trained)
-            self._classifier.learn_repeated(group.training_tokens, True, take)
-            self._used_in_group += take
-            self.trained += take
-            if self._used_in_group == group.count:
-                self._group_index += 1
-                self._used_in_group = 0
+# Historical private name; the threshold and focused drivers grew up
+# importing it from here.
+_IncrementalAttackTrainer = IncrementalAttackTrainer
 
 
 def attack_fraction_sweep(
@@ -151,33 +74,27 @@ def attack_fraction_sweep(
     options: ClassifierOptions = DEFAULT_OPTIONS,
     tokenizer: Tokenizer = DEFAULT_TOKENIZER,
     ham_only: bool = False,
+    workers: int | None = 1,
 ) -> list[AttackSweepPoint]:
     """Sweep contamination levels for ``attack`` over a K-fold protocol.
 
     Returns one pooled :class:`AttackSweepPoint` per fraction, in the
     (ascending) order given.  ``fractions`` may start at 0.0 to include
-    the clean baseline.
+    the clean baseline.  ``workers`` fans folds out across processes;
+    results are identical at any value.
     """
-    ordered = list(fractions)
-    if ordered != sorted(ordered):
-        raise ExperimentError("fractions must be ascending for incremental training")
-    if not ordered:
-        raise ExperimentError("need at least one fraction")
-    base_size = len(inbox)
-    counts = [attack_message_count(base_size, fraction) for fraction in ordered]
-    max_count = counts[-1]
-    points = [
-        AttackSweepPoint(fraction, count, ConfusionCounts())
-        for fraction, count in zip(ordered, counts)
-    ]
-    for fold_index, (train_set, test_set) in enumerate(inbox.k_folds(folds, rng)):
-        classifier = Classifier(options)
-        train_grouped(classifier, train_set, tokenizer)
-        fold_rng = random.Random(rng.getrandbits(64))
-        batch = attack.generate(max_count, fold_rng)
-        trainer = _IncrementalAttackTrainer(classifier, batch)
-        for point in points:
-            trainer.advance_to(point.attack_message_count)
-            fold_counts = evaluate_dataset(classifier, test_set, tokenizer, ham_only=ham_only)
-            point.confusion.merge(fold_counts)
-    return points
+    spec = SweepSpec(
+        key=attack.name or "attack",
+        attack=attack,
+        fractions=tuple(fractions),
+        ham_only=ham_only,
+    )
+    (result,) = run_attack_sweeps(
+        inbox,
+        [(spec, rng)],
+        folds,
+        options=options,
+        tokenizer=tokenizer,
+        workers=workers,
+    )
+    return result.points

@@ -24,8 +24,9 @@ from repro.attacks.dictionary import (
 )
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
+from repro.engine.sweep import SweepSpec, run_attack_sweeps
 from repro.errors import ExperimentError
-from repro.experiments.crossval import AttackSweepPoint, attack_fraction_sweep
+from repro.experiments.crossval import AttackSweepPoint
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
@@ -59,6 +60,9 @@ class DictionaryExperimentConfig:
     corpus_spam: int = 700
     seed: int = 0
     options: ClassifierOptions = DEFAULT_OPTIONS
+    workers: int = 1
+    """Worker processes for the fold fan-out (1 = sequential; results
+    are identical at any value)."""
 
     def __post_init__(self) -> None:
         if self.inbox_size < self.folds:
@@ -73,7 +77,19 @@ class DictionaryExperimentConfig:
             )
 
     @classmethod
-    def paper_scale(cls, seed: int = 0) -> "DictionaryExperimentConfig":
+    def small_scale(cls, seed: int = 0, workers: int = 1) -> "DictionaryExperimentConfig":
+        """The standard 1/10-scale run the CLI and benchmarks share."""
+        return cls(
+            inbox_size=1_000,
+            folds=3,
+            corpus_ham=700,
+            corpus_spam=700,
+            seed=seed,
+            workers=workers,
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0, workers: int = 1) -> "DictionaryExperimentConfig":
         """Table 1's large configuration: 10,000-message inbox, 10 folds."""
         from repro.corpus.vocabulary import PAPER_PROFILE
 
@@ -85,6 +101,7 @@ class DictionaryExperimentConfig:
             corpus_ham=6_000,
             corpus_spam=6_000,
             seed=seed,
+            workers=workers,
         )
 
 
@@ -155,13 +172,19 @@ def run_dictionary_experiment(
     inbox.tokenize_all()
     attacks = build_attack_variants(corpus, config.variants, seed=config.seed)
     result = DictionaryExperimentResult(config=config)
-    for variant, attack in attacks.items():
-        result.sweeps[variant] = attack_fraction_sweep(
-            inbox=inbox,
-            attack=attack,
-            fractions=config.attack_fractions,
-            folds=config.folds,
-            rng=spawner.rng(f"sweep:{variant}"),
-            options=config.options,
+    specs = [
+        (
+            SweepSpec(key=variant, attack=attack, fractions=tuple(config.attack_fractions)),
+            spawner.rng(f"sweep:{variant}"),
         )
+        for variant, attack in attacks.items()
+    ]
+    for sweep in run_attack_sweeps(
+        inbox,
+        specs,
+        config.folds,
+        options=config.options,
+        workers=config.workers,
+    ):
+        result.sweeps[sweep.key] = sweep.points
     return result

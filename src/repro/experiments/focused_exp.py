@@ -12,10 +12,20 @@ ham/unsure/spam.  Figure 3 fixes p = 0.5 and sweeps the number of
 attack emails, reporting the fraction of targets misclassified as spam
 and as unsure-or-spam.
 
-Implementation notes: each repetition trains its inbox classifier
-once; every (target, p, count) cell then *learns* the attack batch,
-classifies the target, and *unlearns* the batch, restoring the exact
-pre-attack state (learning is count-addition, so unlearning is exact).
+Implementation notes: the experiment fans out through
+:class:`repro.engine.runner.ParallelRunner` in two stages, both
+bit-identical at any worker count:
+
+1. *preparation* — each repetition (inbox sample + trained classifier
+   + target pool) is one task; repetitions always had decorrelated
+   labelled seed streams, so they parallelize as-is;
+2. *evaluation* — each (repetition, target) is one task.  Attack
+   batches are generated in the parent first, because all cells share
+   one sequential attack rng stream; workers then layer each batch
+   onto the repetition's classifier under a
+   :meth:`Classifier.snapshot`, classify the target, and
+   :meth:`~Classifier.restore` — the snapshotted state is exactly what
+   the historical learn/unlearn pairing produced.
 """
 
 from __future__ import annotations
@@ -23,12 +33,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.attacks.base import AttackBatch
 from repro.attacks.focused import FocusedAttack
 from repro.corpus.dataset import LabeledMessage
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
+from repro.engine.runner import ParallelRunner
+from repro.engine.sweep import IncrementalAttackTrainer, attack_message_count, train_grouped
 from repro.errors import ExperimentError
-from repro.experiments.crossval import _IncrementalAttackTrainer, attack_message_count, train_grouped
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
@@ -69,6 +81,9 @@ class FocusedExperimentConfig:
     corpus_spam: int = 700
     seed: int = 0
     options: ClassifierOptions = DEFAULT_OPTIONS
+    workers: int = 1
+    """Worker processes for repetition/target fan-out (results
+    identical at any value)."""
 
     def __post_init__(self) -> None:
         if self.n_targets < 1 or self.repetitions < 1:
@@ -80,7 +95,21 @@ class FocusedExperimentConfig:
             )
 
     @classmethod
-    def paper_scale(cls, seed: int = 0) -> "FocusedExperimentConfig":
+    def small_scale(cls, seed: int = 0, workers: int = 1) -> "FocusedExperimentConfig":
+        """The standard 1/5-scale run the CLI and benchmarks share."""
+        return cls(
+            inbox_size=1_000,
+            n_targets=10,
+            repetitions=2,
+            attack_count=60,
+            corpus_ham=700,
+            corpus_spam=700,
+            seed=seed,
+            workers=workers,
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0, workers: int = 1) -> "FocusedExperimentConfig":
         """Section 4.3 exactly: 5,000-message inbox, 300 attack emails,
         20 targets, 5 repetitions."""
         from repro.corpus.vocabulary import PAPER_PROFILE
@@ -94,6 +123,7 @@ class FocusedExperimentConfig:
             corpus_ham=3_100,
             corpus_spam=3_100,
             seed=seed,
+            workers=workers,
         )
 
 
@@ -106,6 +136,35 @@ class _Repetition:
     header_pool: list
 
 
+@dataclass(frozen=True)
+class _PrepareContext:
+    """Worker context for the repetition-preparation stage."""
+
+    corpus: TrecStyleCorpus
+    config: FocusedExperimentConfig
+    spawner_seed: int
+
+
+def _prepare_one_repetition(context: _PrepareContext, rep: int) -> _Repetition:
+    config = context.config
+    rep_rng = SeedSpawner(context.spawner_seed).rng(f"rep[{rep}]")
+    inbox = context.corpus.dataset.sample_inbox(
+        config.inbox_size, config.spam_prevalence, rep_rng
+    )
+    inbox.tokenize_all()
+    inbox_ids = {message.msgid for message in inbox}
+    candidates = [m for m in context.corpus.dataset.ham if m.msgid not in inbox_ids]
+    if len(candidates) < config.n_targets:
+        raise ExperimentError(
+            f"only {len(candidates)} ham outside the inbox; need {config.n_targets} targets"
+        )
+    targets = rep_rng.sample(candidates, config.n_targets)
+    classifier = Classifier(config.options)
+    train_grouped(classifier, inbox)
+    header_pool = [message.email for message in inbox.spam]
+    return _Repetition(classifier, targets, header_pool)
+
+
 def _prepare_repetitions(config: FocusedExperimentConfig) -> list[_Repetition]:
     spawner = SeedSpawner(config.seed).spawn("focused-experiment")
     corpus = TrecStyleCorpus.generate(
@@ -114,32 +173,77 @@ def _prepare_repetitions(config: FocusedExperimentConfig) -> list[_Repetition]:
         profile=config.profile,
         seed=spawner.child_seed("corpus"),
     )
-    repetitions = []
-    for rep in range(config.repetitions):
-        rep_rng = spawner.rng(f"rep[{rep}]")
-        inbox = corpus.dataset.sample_inbox(config.inbox_size, config.spam_prevalence, rep_rng)
-        inbox.tokenize_all()
-        inbox_ids = {message.msgid for message in inbox}
-        candidates = [m for m in corpus.dataset.ham if m.msgid not in inbox_ids]
-        if len(candidates) < config.n_targets:
-            raise ExperimentError(
-                f"only {len(candidates)} ham outside the inbox; need {config.n_targets} targets"
-            )
-        targets = rep_rng.sample(candidates, config.n_targets)
-        classifier = Classifier(config.options)
-        train_grouped(classifier, inbox)
-        header_pool = [message.email for message in inbox.spam]
-        repetitions.append(_Repetition(classifier, targets, header_pool))
-    return repetitions
+    context = _PrepareContext(corpus, config, spawner.seed)
+    return ParallelRunner(config.workers).map(
+        _prepare_one_repetition, context, list(range(config.repetitions))
+    )
 
 
-def _label_of(classifier: Classifier, message: LabeledMessage) -> Label:
-    score = classifier.score(message.tokens(DEFAULT_TOKENIZER))
+def _label_of_tokens(classifier: Classifier, tokens: frozenset[str]) -> Label:
+    score = classifier.score(tokens)
     if score <= classifier.options.ham_cutoff:
         return Label.HAM
     if score <= classifier.options.spam_cutoff:
         return Label.UNSURE
     return Label.SPAM
+
+
+def _label_of(classifier: Classifier, message: LabeledMessage) -> Label:
+    return _label_of_tokens(classifier, message.tokens(DEFAULT_TOKENIZER))
+
+
+@dataclass(frozen=True)
+class _EvalContext:
+    """Worker context for the cell-evaluation stage."""
+
+    classifiers: tuple[Classifier, ...]
+    counts: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class _KnowledgeTask:
+    """One (repetition, target): its batches, one per guess probability."""
+
+    rep_index: int
+    target_tokens: frozenset[str]
+    batches: tuple[AttackBatch, ...]
+
+
+def _run_knowledge_cell(context: _EvalContext, task: _KnowledgeTask) -> tuple[bool, list[str]]:
+    classifier = context.classifiers[task.rep_index]
+    pre_attack_ham = _label_of_tokens(classifier, task.target_tokens) is Label.HAM
+    labels: list[str] = []
+    for batch in task.batches:
+        snap = classifier.snapshot()
+        try:
+            batch.train_into(classifier)
+            labels.append(_label_of_tokens(classifier, task.target_tokens).value)
+        finally:
+            classifier.restore(snap)
+    return pre_attack_ham, labels
+
+
+@dataclass(frozen=True)
+class _SizeTask:
+    """One (repetition, target): the full-size batch, swept ascending."""
+
+    rep_index: int
+    target_tokens: frozenset[str]
+    batch: AttackBatch
+
+
+def _run_size_cell(context: _EvalContext, task: _SizeTask) -> list[str]:
+    classifier = context.classifiers[task.rep_index]
+    snap = classifier.snapshot()
+    try:
+        trainer = IncrementalAttackTrainer(classifier, task.batch)
+        labels: list[str] = []
+        for count in context.counts:
+            trainer.advance_to(count)
+            labels.append(_label_of_tokens(classifier, task.target_tokens).value)
+        return labels
+    finally:
+        classifier.restore(snap)
 
 
 @dataclass
@@ -200,25 +304,34 @@ def run_focused_knowledge_experiment(
     """Run the Figure 2 experiment."""
     repetitions = _prepare_repetitions(config)
     attack_rng = SeedSpawner(config.seed).spawn("focused-knowledge").rng("attacks")
-    result = FocusedKnowledgeResult(config=config)
-    for probability in config.guess_probabilities:
-        result.label_counts[probability] = {"ham": 0, "unsure": 0, "spam": 0}
-    for repetition in repetitions:
+    # Batch generation consumes the one shared attack stream, so it
+    # stays in the parent, in the historical rep -> target -> p order.
+    tasks: list[_KnowledgeTask] = []
+    for rep_index, repetition in enumerate(repetitions):
         for target in repetition.targets:
-            result.total_targets += 1
-            if _label_of(repetition.classifier, target) is Label.HAM:
-                result.pre_attack_ham += 1
+            batches = []
             for probability in config.guess_probabilities:
                 attack = FocusedAttack(
                     target.email,
                     guess_probability=probability,
                     header_pool=repetition.header_pool,
                 )
-                batch = attack.generate(config.attack_count, attack_rng)
-                batch.train_into(repetition.classifier)
-                label = _label_of(repetition.classifier, target)
-                batch.untrain_from(repetition.classifier)
-                result.label_counts[probability][label.value] += 1
+                batches.append(attack.generate(config.attack_count, attack_rng))
+            tasks.append(
+                _KnowledgeTask(rep_index, target.tokens(DEFAULT_TOKENIZER), tuple(batches))
+            )
+    context = _EvalContext(tuple(rep.classifier for rep in repetitions))
+    outcomes = ParallelRunner(config.workers).map(_run_knowledge_cell, context, tasks)
+
+    result = FocusedKnowledgeResult(config=config)
+    for probability in config.guess_probabilities:
+        result.label_counts[probability] = {"ham": 0, "unsure": 0, "spam": 0}
+    for pre_attack_ham, labels in outcomes:
+        result.total_targets += 1
+        if pre_attack_ham:
+            result.pre_attack_ham += 1
+        for probability, label in zip(config.guess_probabilities, labels):
+            result.label_counts[probability][label] += 1
     return result
 
 
@@ -253,27 +366,31 @@ def run_focused_size_experiment(
     repetitions = _prepare_repetitions(config)
     attack_rng = SeedSpawner(config.seed).spawn("focused-size").rng("attacks")
     counts = [attack_message_count(config.inbox_size, f) for f in fractions]
-    as_spam = [0] * len(fractions)
-    as_filtered = [0] * len(fractions)  # spam or unsure
-    total = 0
-    for repetition in repetitions:
+    tasks: list[_SizeTask] = []
+    for rep_index, repetition in enumerate(repetitions):
         for target in repetition.targets:
-            total += 1
             attack = FocusedAttack(
                 target.email,
                 guess_probability=config.size_sweep_guess_probability,
                 header_pool=repetition.header_pool,
             )
             batch = attack.generate(counts[-1] if counts else 0, attack_rng)
-            trainer = _IncrementalAttackTrainer(repetition.classifier, batch)
-            for index, count in enumerate(counts):
-                trainer.advance_to(count)
-                label = _label_of(repetition.classifier, target)
-                if label is Label.SPAM:
-                    as_spam[index] += 1
-                if label is not Label.HAM:
-                    as_filtered[index] += 1
-            batch.untrain_from(repetition.classifier)
+            tasks.append(_SizeTask(rep_index, target.tokens(DEFAULT_TOKENIZER), batch))
+    context = _EvalContext(
+        tuple(rep.classifier for rep in repetitions), counts=tuple(counts)
+    )
+    outcomes = ParallelRunner(config.workers).map(_run_size_cell, context, tasks)
+
+    as_spam = [0] * len(fractions)
+    as_filtered = [0] * len(fractions)  # spam or unsure
+    total = 0
+    for labels in outcomes:
+        total += 1
+        for index, label in enumerate(labels):
+            if label == Label.SPAM.value:
+                as_spam[index] += 1
+            if label != Label.HAM.value:
+                as_filtered[index] += 1
     result = FocusedSizeResult(config=config)
     for index, fraction in enumerate(fractions):
         result.points.append(

@@ -21,8 +21,10 @@ from repro.attacks.goodword import CommonWordGoodWordAttack, OracleGoodWordAttac
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.corpus.wordlists import build_usenet_wordlist
+from repro.engine.runner import ParallelRunner
 from repro.errors import ExperimentError
 from repro.experiments.crossval import train_grouped
+from repro.spambayes.message import Email
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
@@ -46,6 +48,9 @@ class GoodWordExperimentConfig:
     corpus_spam: int = 700
     seed: int = 0
     options: ClassifierOptions = DEFAULT_OPTIONS
+    workers: int = 1
+    """Worker processes for the per-message fan-out (results identical
+    at any value)."""
 
     def __post_init__(self) -> None:
         if list(self.word_budgets) != sorted(set(self.word_budgets)):
@@ -87,6 +92,29 @@ class GoodWordExperimentResult:
             series=series,
             extras={"median_words_to_evade": self.median_words_to_evade},
         )
+
+
+@dataclass(frozen=True)
+class _GoodWordContext:
+    """Read-only worker context: the trained filter and the attackers."""
+
+    classifier: Classifier
+    attackers: dict[str, CommonWordGoodWordAttack | OracleGoodWordAttack]
+    budgets: tuple[int, ...]
+    spam_cutoff: float
+
+
+def _evade_one_message(context: _GoodWordContext, email: Email) -> dict[str, list[bool]]:
+    """Per attacker model: did this spam evade at each word budget?"""
+    outcome: dict[str, list[bool]] = {}
+    for model_name, attacker in context.attackers.items():
+        flags = []
+        for budget in context.budgets:
+            padded = attacker.pad(email, budget).padded
+            score = context.classifier.score(DEFAULT_TOKENIZER.tokenize(padded))
+            flags.append(score <= context.spam_cutoff)
+        outcome[model_name] = flags
+    return outcome
 
 
 def run_goodword_experiment(
@@ -131,25 +159,35 @@ def run_goodword_experiment(
         ),
     }
 
+    # Each caught spam is one task: padding and scoring draw no
+    # randomness, so any execution order (and any worker count) tallies
+    # the same curves.
+    context = _GoodWordContext(
+        classifier, attackers, tuple(config.word_budgets), spam_cutoff
+    )
+    per_message = ParallelRunner(config.workers).map(
+        _evade_one_message, context, [message.email for message in caught]
+    )
+
     result = GoodWordExperimentResult(config=config)
-    for model_name, attacker in attackers.items():
-        evasion_curve: list[tuple[int, float]] = []
-        words_needed: list[int | None] = []
-        per_message_evaded_at: dict[str, int | None] = {m.msgid: None for m in caught}
-        for budget in config.word_budgets:
-            evaded = 0
-            for message in caught:
-                padded = attacker.pad(message.email, budget).padded
-                score = classifier.score(DEFAULT_TOKENIZER.tokenize(padded))
-                if score <= spam_cutoff:
-                    evaded += 1
-                    if per_message_evaded_at[message.msgid] is None:
-                        per_message_evaded_at[message.msgid] = budget
-            evasion_curve.append((budget, evaded / len(caught)))
-        result.evasion[model_name] = evasion_curve
+    budgets = list(config.word_budgets)
+    for model_name in attackers:
+        evaded_per_budget = [0] * len(budgets)
+        evaded_at: list[int | None] = []
+        for outcome in per_message:
+            flags = outcome[model_name]
+            first_evading = None
+            for index, evaded in enumerate(flags):
+                if evaded:
+                    evaded_per_budget[index] += 1
+                    if first_evading is None:
+                        first_evading = budgets[index]
+            evaded_at.append(first_evading)
+        result.evasion[model_name] = [
+            (budget, count / len(caught)) for budget, count in zip(budgets, evaded_per_budget)
+        ]
         # Median words-to-evade, with "never evaded within budget"
         # treated as +infinity: a None median means most spam resisted.
-        costs = sorted(per_message_evaded_at.values(), key=lambda c: float("inf") if c is None else c)
-        median = costs[(len(costs) - 1) // 2]
-        result.median_words_to_evade[model_name] = median
+        costs = sorted(evaded_at, key=lambda c: float("inf") if c is None else c)
+        result.median_words_to_evade[model_name] = costs[(len(costs) - 1) // 2]
     return result

@@ -31,9 +31,11 @@ from repro.attacks.dictionary import (
     UsenetDictionaryAttack,
 )
 from repro.attacks.knowledge import EmpiricalHamDistribution, budgeted_attack
+from repro.corpus.dataset import Dataset, LabeledMessage
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.defenses.roni import RoniConfig, RoniDefense
+from repro.engine.runner import ParallelRunner
 from repro.errors import ExperimentError
 from repro.experiments.results import ExperimentRecord
 from repro.rng import SeedSpawner
@@ -69,12 +71,41 @@ class RoniExperimentConfig:
     corpus_spam: int = 400
     seed: int = 0
     options: ClassifierOptions = DEFAULT_OPTIONS
+    workers: int = 1
+    """Worker processes for the per-repetition fan-out (results
+    identical at any value)."""
 
     def __post_init__(self) -> None:
         if self.n_nonattack_spam < 1:
             raise ExperimentError("need at least one non-attack spam query")
         if self.repetitions_per_variant < 1:
             raise ExperimentError("need at least one repetition per variant")
+
+    @classmethod
+    def small_scale(cls, seed: int = 0, workers: int = 1) -> "RoniExperimentConfig":
+        """The standard reduced run the CLI and benchmarks share."""
+        return cls(
+            pool_size=400,
+            n_nonattack_spam=60,
+            repetitions_per_variant=6,
+            corpus_ham=400,
+            corpus_spam=400,
+            seed=seed,
+            workers=workers,
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0, workers: int = 1) -> "RoniExperimentConfig":
+        """The paper's counts: 120 non-attack spam, 15 reps per variant."""
+        return cls(
+            pool_size=1_000,
+            n_nonattack_spam=120,
+            repetitions_per_variant=15,
+            corpus_ham=1_200,
+            corpus_spam=1_200,
+            seed=seed,
+            workers=workers,
+        )
 
 
 @dataclass
@@ -171,6 +202,54 @@ def _build_variants(
     return attacks
 
 
+@dataclass(frozen=True)
+class _RoniContext:
+    """Read-only worker context: the pool, the attacks, the knobs."""
+
+    pool: Dataset
+    attacks: dict[str, DictionaryAttack]
+    config: RoniExperimentConfig
+    spawner_seed: int
+
+
+def _measure_attack_repetition(context: _RoniContext, rep: int) -> list[float]:
+    """One calibration; one email of each variant measured against it.
+
+    Repetitions always had their own labelled seed streams
+    (``defense[rep]`` / ``attack[rep]``), so each is an independent,
+    deterministic unit regardless of which process runs it.
+    """
+    spawner = SeedSpawner(context.spawner_seed)
+    defense = RoniDefense(
+        context.pool,
+        spawner.rng(f"defense[{rep}]"),
+        config=context.config.roni,
+        options=context.config.options,
+    )
+    attack_rng = spawner.rng(f"attack[{rep}]")
+    impacts = []
+    for attack in context.attacks.values():
+        batch = attack.generate(1, attack_rng)
+        tokens = batch.groups[0].training_tokens
+        measurement = defense.measure_tokens(tokens, is_spam=True)
+        impacts.append(measurement.ham_as_ham_decrease)
+    return impacts
+
+
+def _measure_spam_batch(
+    context: _RoniContext, task: tuple[int, tuple[LabeledMessage, ...]]
+) -> list[float]:
+    """One dedicated calibration measuring a slice of non-attack spam."""
+    rep, queries = task
+    defense = RoniDefense(
+        context.pool,
+        SeedSpawner(context.spawner_seed).rng(f"spam-defense[{rep}]"),
+        config=context.config.roni,
+        options=context.config.options,
+    )
+    return [defense.measure(message).ham_as_ham_decrease for message in queries]
+
+
 def run_roni_experiment(
     config: RoniExperimentConfig = RoniExperimentConfig(),
 ) -> RoniExperimentResult:
@@ -196,35 +275,26 @@ def run_roni_experiment(
     attacks = _build_variants(corpus, config)
     result = RoniExperimentResult(config=config)
     result.attack_impacts = {variant: [] for variant in attacks}
+    context = _RoniContext(pool, attacks, config, spawner.seed)
+    runner = ParallelRunner(config.workers)
 
     # Attack emails: a fresh RONI calibration per repetition, one email
     # of each variant measured against it.
-    for rep in range(config.repetitions_per_variant):
-        defense = RoniDefense(
-            pool,
-            spawner.rng(f"defense[{rep}]"),
-            config=config.roni,
-            options=config.options,
-        )
-        attack_rng = spawner.rng(f"attack[{rep}]")
-        for variant, attack in attacks.items():
-            batch = attack.generate(1, attack_rng)
-            tokens = batch.groups[0].training_tokens
-            measurement = defense.measure_tokens(tokens, is_spam=True)
-            result.attack_impacts[variant].append(measurement.ham_as_ham_decrease)
+    per_rep = runner.map(
+        _measure_attack_repetition, context, list(range(config.repetitions_per_variant))
+    )
+    for impacts in per_rep:
+        for variant, impact in zip(attacks, impacts):
+            result.attack_impacts[variant].append(impact)
 
     # Non-attack spam: measured against a dedicated calibration, in
     # round-robin batches so no single resample biases the distribution.
     queries = spawner.rng("query-choice").sample(spam_outside, config.n_nonattack_spam)
     per_defense = max(1, config.n_nonattack_spam // config.repetitions_per_variant)
-    for rep, start in enumerate(range(0, len(queries), per_defense)):
-        defense = RoniDefense(
-            pool,
-            spawner.rng(f"spam-defense[{rep}]"),
-            config=config.roni,
-            options=config.options,
-        )
-        for message in queries[start : start + per_defense]:
-            measurement = defense.measure(message)
-            result.nonattack_spam_impacts.append(measurement.ham_as_ham_decrease)
+    batches = [
+        (rep, tuple(queries[start : start + per_defense]))
+        for rep, start in enumerate(range(0, len(queries), per_defense))
+    ]
+    for impacts in runner.map(_measure_spam_batch, context, batches):
+        result.nonattack_spam_impacts.extend(impacts)
     return result

@@ -15,6 +15,14 @@ the defense's cost, which the paper calls out in its closing paragraph
 
 The threshold fit sees what a deployed defense would see: the poisoned
 training set, attack messages included and labeled spam.
+
+Folds run through :class:`repro.engine.runner.ParallelRunner`: each
+fold is one task carrying its index lists plus a pre-drawn block of
+seeds (one for the attack batch, one per fraction × quantile for the
+threshold fits) replaying the sequential rng draw order, so
+``workers=N`` reproduces ``workers=1`` bit for bit.  Fold classifiers
+are derived from a shared full-inbox model by snapshot/unlearn/restore
+rather than retrained.
 """
 
 from __future__ import annotations
@@ -23,24 +31,29 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.attacks.base import AttackBatch
+from repro.attacks.base import Attack, AttackBatch
 from repro.corpus.dataset import Dataset, LabeledMessage
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.defenses.threshold import DynamicThresholdConfig, DynamicThresholdDefense
-from repro.errors import ExperimentError
-from repro.experiments.crossval import (
-    _IncrementalAttackTrainer,
+from repro.engine.runner import ParallelRunner
+from repro.engine.seeding import drawn_seeds
+from repro.engine.sweep import (
+    IncrementalAttackTrainer,
     attack_message_count,
     evaluate_dataset,
     train_grouped,
+    unlearn_grouped,
 )
+from repro.errors import ExperimentError
 from repro.experiments.dictionary_exp import build_attack_variants
+from repro.experiments.metrics import ConfusionCounts
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.message import Email
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
 
 __all__ = [
     "ThresholdExperimentConfig",
@@ -67,9 +80,24 @@ class ThresholdExperimentConfig:
     corpus_spam: int = 700
     seed: int = 0
     options: ClassifierOptions = DEFAULT_OPTIONS
+    workers: int = 1
+    """Worker processes for the fold fan-out (results identical at any
+    value)."""
 
     @classmethod
-    def paper_scale(cls, seed: int = 0) -> "ThresholdExperimentConfig":
+    def small_scale(cls, seed: int = 0, workers: int = 1) -> "ThresholdExperimentConfig":
+        """The standard 1/10-scale run the CLI and benchmarks share."""
+        return cls(
+            inbox_size=1_000,
+            folds=3,
+            corpus_ham=700,
+            corpus_spam=700,
+            seed=seed,
+            workers=workers,
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 0, workers: int = 1) -> "ThresholdExperimentConfig":
         """Table 1: 10,000-message inbox, 5 folds."""
         from repro.corpus.vocabulary import PAPER_PROFILE
 
@@ -80,6 +108,7 @@ class ThresholdExperimentConfig:
             corpus_ham=6_000,
             corpus_spam=6_000,
             seed=seed,
+            workers=workers,
         )
 
 
@@ -129,6 +158,78 @@ def attack_messages_as_dataset(batch: AttackBatch, start: int = 0) -> list[Label
     return messages
 
 
+@dataclass(frozen=True)
+class _FoldTask:
+    """One fold's work: index lists plus the pre-drawn seed block.
+
+    ``seeds[0]`` feeds the attack batch; the rest feed the threshold
+    fits in (fraction-major, quantile-minor) order — exactly the draw
+    order of the sequential loop.
+    """
+
+    train_indices: tuple[int, ...]
+    test_indices: tuple[int, ...]
+    seeds: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _FoldContext:
+    """Read-only worker context for the threshold fold tasks."""
+
+    inbox: Dataset
+    attack: Attack
+    counts: tuple[int, ...]
+    quantiles: tuple[float, ...]
+    options: ClassifierOptions
+    tokenizer: Tokenizer
+    full_model: Classifier
+
+
+def _run_threshold_fold(
+    context: _FoldContext, task: _FoldTask
+) -> tuple[list[ConfusionCounts], list[list[tuple[float, float, ConfusionCounts]]]]:
+    """One fold: static-threshold confusions per fraction, plus per
+    fraction × quantile the fitted (θ0, θ1) and its confusion."""
+    inbox = context.inbox
+    test_set = [inbox[i] for i in task.test_indices]
+    train_messages = [inbox[i] for i in task.train_indices]
+    classifier = context.full_model
+    snap = classifier.snapshot()
+    try:
+        unlearn_grouped(classifier, test_set, context.tokenizer)
+        seeds = iter(task.seeds)
+        batch = context.attack.generate(context.counts[-1], random.Random(next(seeds)))
+        trainer = IncrementalAttackTrainer(classifier, batch)
+        attack_messages = attack_messages_as_dataset(batch)
+        static_arm: list[ConfusionCounts] = []
+        fitted_arms: list[list[tuple[float, float, ConfusionCounts]]] = []
+        for count in context.counts:
+            trainer.advance_to(count)
+            static_arm.append(evaluate_dataset(classifier, test_set, context.tokenizer))
+            poisoned = Dataset(
+                train_messages + attack_messages[:count],
+                name="poisoned-training",
+            )
+            per_quantile: list[tuple[float, float, ConfusionCounts]] = []
+            for quantile in context.quantiles:
+                defense = DynamicThresholdDefense(
+                    config=DynamicThresholdConfig(quantile=quantile),
+                    options=context.options,
+                )
+                fit = defense.fit(poisoned, random.Random(next(seeds)))
+                confusion = evaluate_dataset(
+                    classifier,
+                    test_set,
+                    context.tokenizer,
+                    cutoffs=(fit.ham_cutoff, fit.spam_cutoff),
+                )
+                per_quantile.append((fit.ham_cutoff, fit.spam_cutoff, confusion))
+            fitted_arms.append(per_quantile)
+        return static_arm, fitted_arms
+    finally:
+        classifier.restore(snap)
+
+
 def run_threshold_experiment(
     config: ThresholdExperimentConfig = ThresholdExperimentConfig(),
 ) -> ThresholdExperimentResult:
@@ -151,47 +252,47 @@ def run_threshold_experiment(
         config.attack_variant
     ]
     counts = [attack_message_count(config.inbox_size, f) for f in fractions]
-    arms = ["no-defense"] + [f"threshold-{q:.2f}" for q in config.quantiles]
+    quantiles = tuple(config.quantiles)
+    arms = ["no-defense"] + [f"threshold-{q:.2f}" for q in quantiles]
+
+    # Plan fold tasks, replaying the sequential draw order on the fold
+    # rng: the k-fold shuffle, then per fold one batch seed followed by
+    # one fit seed per fraction × quantile.
+    fold_rng = spawner.rng("folds")
+    pairs = inbox.k_fold_indices(config.folds, fold_rng)
+    seeds_per_fold = 1 + len(fractions) * len(quantiles)
+    tasks = [
+        _FoldTask(tuple(train_idx), tuple(test_idx), tuple(drawn_seeds(fold_rng, seeds_per_fold)))
+        for train_idx, test_idx in pairs
+    ]
+    full_model = Classifier(config.options)
+    train_grouped(full_model, inbox)
+    context = _FoldContext(
+        inbox=inbox,
+        attack=attack,
+        counts=tuple(counts),
+        quantiles=quantiles,
+        options=config.options,
+        tokenizer=DEFAULT_TOKENIZER,
+        full_model=full_model,
+    )
+    fold_outcomes = ParallelRunner(config.workers).map(_run_threshold_fold, context, tasks)
+
     result = ThresholdExperimentResult(config=config)
-    accumulators: dict[str, list] = {arm: [None] * len(fractions) for arm in arms}
+    accumulators: dict[str, list[ConfusionCounts]] = {
+        arm: [ConfusionCounts() for _ in fractions] for arm in arms
+    }
     threshold_fits: dict[str, list[list[tuple[float, float]]]] = {
         arm: [[] for _ in fractions] for arm in arms[1:]
     }
-    fold_rng = spawner.rng("folds")
-    for train_set, test_set in inbox.k_folds(config.folds, fold_rng):
-        classifier = Classifier(config.options)
-        train_grouped(classifier, train_set)
-        batch = attack.generate(counts[-1], random.Random(fold_rng.getrandbits(64)))
-        trainer = _IncrementalAttackTrainer(classifier, batch)
-        attack_messages = attack_messages_as_dataset(batch)
-        for index, count in enumerate(counts):
-            trainer.advance_to(count)
-            # Arm 1: static thresholds.
-            confusion = evaluate_dataset(classifier, test_set)
-            if accumulators["no-defense"][index] is None:
-                accumulators["no-defense"][index] = confusion
-            else:
-                accumulators["no-defense"][index].merge(confusion)
-            # Defended arms: fit thresholds on the poisoned training set.
-            poisoned = Dataset(
-                train_set.messages + attack_messages[:count],
-                name="poisoned-training",
-            )
-            for quantile in config.quantiles:
+    for static_arm, fitted_arms in fold_outcomes:
+        for index, confusion in enumerate(static_arm):
+            accumulators["no-defense"][index].merge(confusion)
+        for index, per_quantile in enumerate(fitted_arms):
+            for quantile, (theta0, theta1, confusion) in zip(quantiles, per_quantile):
                 arm = f"threshold-{quantile:.2f}"
-                defense = DynamicThresholdDefense(
-                    config=DynamicThresholdConfig(quantile=quantile),
-                    options=config.options,
-                )
-                fit = defense.fit(poisoned, random.Random(fold_rng.getrandbits(64)))
-                threshold_fits[arm][index].append((fit.ham_cutoff, fit.spam_cutoff))
-                confusion = evaluate_dataset(
-                    classifier, test_set, cutoffs=(fit.ham_cutoff, fit.spam_cutoff)
-                )
-                if accumulators[arm][index] is None:
-                    accumulators[arm][index] = confusion
-                else:
-                    accumulators[arm][index].merge(confusion)
+                threshold_fits[arm][index].append((theta0, theta1))
+                accumulators[arm][index].merge(confusion)
     for arm in arms:
         result.series[arm] = [
             CurvePoint.from_confusion(fraction, confusion)

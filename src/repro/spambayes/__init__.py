@@ -16,7 +16,7 @@ The public names most callers need are re-exported here.
 """
 
 from repro.spambayes.chi2 import chi2q, fisher_combine
-from repro.spambayes.classifier import Classifier, TokenScore
+from repro.spambayes.classifier import Classifier, ClassifierSnapshot, TokenScore
 from repro.spambayes.graham import GRAHAM_OPTIONS, GrahamClassifier
 from repro.spambayes.filter import Label, SpamFilter, ClassifiedMessage
 from repro.spambayes.message import Email
@@ -28,6 +28,7 @@ __all__ = [
     "chi2q",
     "fisher_combine",
     "Classifier",
+    "ClassifierSnapshot",
     "TokenScore",
     "GrahamClassifier",
     "GRAHAM_OPTIONS",

@@ -22,6 +22,7 @@ class TestParser:
         args = build_parser().parse_args(["table1"])
         assert args.scale == "small"
         assert args.seed == 0
+        assert args.workers == 1
         assert args.out is None
 
     def test_all_artifacts_registered(self):
@@ -55,7 +56,7 @@ class TestExecution:
         from repro.experiments.focused_exp import FocusedExperimentConfig
         import repro.cli as cli
 
-        def tiny_config(scale, seed):
+        def tiny_config(scale, seed, workers=1):
             return FocusedExperimentConfig(
                 inbox_size=200,
                 n_targets=3,

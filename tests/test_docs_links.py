@@ -1,0 +1,59 @@
+"""The docs-link checker runs clean as part of tier-1.
+
+This is what keeps README/docs honest: a reference to a file that was
+renamed away, or to a CLI subcommand that never existed, fails the
+suite — not just the ``make docs-check`` target.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_references_resolve(capsys):
+    checker = _load_checker()
+    assert checker.main() == 0, capsys.readouterr().out
+
+
+def test_checker_flags_broken_references(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "bad.md"
+    doc.write_text(
+        "See [missing](no/such/file.md) and `src/repro/nonexistent.py`.\n"
+        "Run `python -m repro figure9` or `python -m repro figure1 --bogus 3`.\n",
+        encoding="utf-8",
+    )
+    from repro.cli import ARTIFACTS, build_parser
+
+    artifacts = set(ARTIFACTS) | {"all"}
+    flags = {opt for action in build_parser()._actions for opt in action.option_strings}
+    problems = checker.check_file(doc, artifacts, flags)
+    assert len(problems) == 4, problems
+
+
+def test_checker_accepts_known_cli_usage(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "good.md"
+    doc.write_text(
+        "`python -m repro figure2 figure3 --scale paper --seed 3 --workers 4`\n"
+        "`python -m repro all --out results/`\n",
+        encoding="utf-8",
+    )
+    from repro.cli import ARTIFACTS, build_parser
+
+    artifacts = set(ARTIFACTS) | {"all"}
+    flags = {opt for action in build_parser()._actions for opt in action.option_strings}
+    assert checker.check_file(doc, artifacts, flags) == []

@@ -1,0 +1,424 @@
+"""Tests for the parallel experiment engine.
+
+The engine's contract is absolute: any worker count, and the retained
+sequential reference implementation, produce bit-identical results.
+These tests pin that contract on small corpora, plus the classifier
+APIs the engine is built on (snapshot/restore, bulk scoring).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import TINY_PROFILE
+from repro.attacks.dictionary import OptimalDictionaryAttack, UsenetDictionaryAttack
+from repro.engine.runner import ParallelRunner, resolve_workers
+from repro.engine.seeding import drawn_seeds, resolve_root_seed
+from repro.engine.sweep import (
+    SweepSpec,
+    run_attack_sweeps,
+    sequential_reference_sweep,
+    train_grouped,
+    unlearn_grouped,
+)
+from repro.errors import EngineError, ExperimentError, TrainingError
+from repro.experiments.crossval import attack_fraction_sweep
+from repro.rng import SeedSpawner
+from repro.spambayes.classifier import Classifier
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sweep_corpus():
+    return TrecStyleCorpus.generate(n_ham=150, n_spam=150, profile=TINY_PROFILE, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sweep_inbox(sweep_corpus):
+    inbox = sweep_corpus.dataset.sample_inbox(180, 0.5, random.Random(3))
+    inbox.tokenize_all()
+    return inbox
+
+
+def _classifier_state(classifier: Classifier):
+    return (
+        classifier.nspam,
+        classifier.nham,
+        {t: (w.spamcount, w.hamcount) for t, w in classifier._wordinfo.items()},
+    )
+
+
+def _trained_classifier(corpus) -> Classifier:
+    classifier = Classifier()
+    train_grouped(classifier, corpus.dataset)
+    return classifier
+
+
+# ----------------------------------------------------------------------
+# ParallelRunner
+# ----------------------------------------------------------------------
+
+
+def _double(context, task):
+    return context * task
+
+
+def _fail_on_three(context, task):
+    if task == 3:
+        raise ValueError("boom")
+    return task
+
+
+class TestParallelRunner:
+    def test_sequential_map_preserves_order(self):
+        assert ParallelRunner(1).map(_double, 10, [3, 1, 2]) == [30, 10, 20]
+
+    def test_parallel_map_matches_sequential(self):
+        tasks = list(range(7))
+        assert ParallelRunner(2).map(_double, 5, tasks) == ParallelRunner(1).map(
+            _double, 5, tasks
+        )
+
+    def test_single_task_runs_inline_even_with_workers(self):
+        assert ParallelRunner(4).map(_double, 2, [21]) == [42]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            ParallelRunner(2).map(_fail_on_three, None, [1, 2, 3, 4])
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(EngineError):
+            resolve_workers(-1)
+
+
+# ----------------------------------------------------------------------
+# Seeding helpers
+# ----------------------------------------------------------------------
+
+
+class TestSeeding:
+    def test_drawn_seeds_replays_sequential_draws(self):
+        a, b = random.Random(9), random.Random(9)
+        assert drawn_seeds(a, 5) == [b.getrandbits(64) for _ in range(5)]
+        # Both generators end in the same state.
+        assert a.random() == b.random()
+
+    def test_labelled_spawning_is_stable(self):
+        """Labelled task streams (repro.rng.spawn_seed) are the other
+        determinism mechanism the engine relies on."""
+        from repro.rng import spawn_seed
+
+        assert spawn_seed(1, "fold[0]") == spawn_seed(1, "fold[0]")
+        assert spawn_seed(1, "fold[0]") != spawn_seed(1, "fold[1]")
+        assert spawn_seed(1, "fold[0]") != spawn_seed(2, "fold[0]")
+
+    def test_resolve_root_seed(self):
+        assert resolve_root_seed(None) == 0
+        assert resolve_root_seed("") == 0
+        assert resolve_root_seed("17") == 17
+        assert resolve_root_seed(23) == 23
+        from repro.rng import DEFAULT_SEED
+
+        assert resolve_root_seed("default") == DEFAULT_SEED
+        with pytest.raises(EngineError):
+            resolve_root_seed("not-a-seed")
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotRestore:
+    def test_round_trip_leaves_counts_untouched(self, sweep_corpus):
+        classifier = _trained_classifier(sweep_corpus)
+        before = _classifier_state(classifier)
+        snap = classifier.snapshot()
+        classifier.learn_repeated(frozenset(f"attack{i}" for i in range(200)), True, 50)
+        classifier.unlearn(sweep_corpus.dataset[0].tokens(), sweep_corpus.dataset[0].is_spam)
+        assert _classifier_state(classifier) != before
+        classifier.restore(snap)
+        assert _classifier_state(classifier) == before
+        assert not classifier.snapshot_active
+
+    def test_restored_scores_are_bit_identical(self, sweep_corpus):
+        classifier = _trained_classifier(sweep_corpus)
+        tests = [m.tokens() for m in sweep_corpus.dataset.messages[:40]]
+        before = classifier.score_many(tests)
+        snap = classifier.snapshot()
+        classifier.learn_repeated(frozenset(["viagra", "casino", "winner"]), True, 500)
+        classifier.restore(snap)
+        assert classifier.score_many(tests) == before
+
+    def test_unlearn_grouped_is_exact_inverse_of_train_grouped(self, sweep_corpus):
+        classifier = _trained_classifier(sweep_corpus)
+        before = _classifier_state(classifier)
+        extra = sweep_corpus.dataset.messages[:25]
+        snap = classifier.snapshot()
+        unlearn_grouped(classifier, extra)
+        train_grouped(classifier, extra)
+        assert _classifier_state(classifier) == before
+        classifier.restore(snap)
+        assert _classifier_state(classifier) == before
+
+    def test_fold_model_by_subtraction_equals_retraining(self, sweep_inbox):
+        """full - stripe == train(K-1 folds): the engine's core identity."""
+        pairs = sweep_inbox.k_fold_indices(3, random.Random(4))
+        full = Classifier()
+        train_grouped(full, sweep_inbox)
+        for train_idx, test_idx in pairs:
+            retrained = Classifier()
+            train_grouped(retrained, (sweep_inbox[i] for i in train_idx))
+            snap = full.snapshot()
+            unlearn_grouped(full, [sweep_inbox[i] for i in test_idx])
+            assert _classifier_state(full) == _classifier_state(retrained)
+            full.restore(snap)
+
+    def test_nested_snapshot_rejected(self):
+        classifier = Classifier()
+        classifier.snapshot()
+        with pytest.raises(TrainingError):
+            classifier.snapshot()
+
+    def test_restore_requires_matching_owner_and_active(self):
+        a, b = Classifier(), Classifier()
+        snap = a.snapshot()
+        with pytest.raises(TrainingError):
+            b.restore(snap)
+        a.restore(snap)
+        with pytest.raises(TrainingError):
+            a.restore(snap)  # single-use
+
+
+# ----------------------------------------------------------------------
+# Bulk scoring
+# ----------------------------------------------------------------------
+
+
+class TestScoreMany:
+    def test_matches_per_message_score_exactly(self, sweep_corpus):
+        classifier = _trained_classifier(sweep_corpus)
+        token_sets = [m.tokens() for m in sweep_corpus.dataset.messages[:60]]
+        token_sets.append(frozenset())  # no evidence -> 0.5
+        token_sets.append(frozenset(["never-seen-token"]))
+        bulk = classifier.score_many(token_sets)
+        assert bulk == [classifier.score(ts) for ts in token_sets]
+
+    def test_accepts_unhashed_iterables(self, sweep_corpus):
+        classifier = _trained_classifier(sweep_corpus)
+        tokens = list(sweep_corpus.dataset[0].tokens())
+        assert classifier.score_many([tokens]) == [classifier.score(tokens)]
+
+
+# ----------------------------------------------------------------------
+# Sweep equivalence: reference == engine(workers=1) == engine(workers=N)
+# ----------------------------------------------------------------------
+
+
+def _sweep_signature(points):
+    return [
+        (p.attack_fraction, p.attack_message_count, p.confusion.as_dict()) for p in points
+    ]
+
+
+class TestSweepEquivalence:
+    FRACTIONS = (0.0, 0.01, 0.05)
+
+    def test_engine_matches_sequential_reference(self, sweep_corpus, sweep_inbox):
+        attack = OptimalDictionaryAttack.from_vocabulary(sweep_corpus.vocabulary)
+        reference = sequential_reference_sweep(
+            sweep_inbox, attack, self.FRACTIONS, 3, random.Random(77)
+        )
+        engine = attack_fraction_sweep(
+            sweep_inbox, attack, self.FRACTIONS, 3, random.Random(77), workers=1
+        )
+        assert _sweep_signature(engine) == _sweep_signature(reference)
+
+    def test_parallel_matches_sequential(self, sweep_corpus, sweep_inbox):
+        attack = OptimalDictionaryAttack.from_vocabulary(sweep_corpus.vocabulary)
+        sequential = attack_fraction_sweep(
+            sweep_inbox, attack, self.FRACTIONS, 3, random.Random(77), workers=1
+        )
+        parallel = attack_fraction_sweep(
+            sweep_inbox, attack, self.FRACTIONS, 3, random.Random(77), workers=3
+        )
+        assert _sweep_signature(parallel) == _sweep_signature(sequential)
+
+    def test_multi_spec_sweep_results(self, sweep_corpus, sweep_inbox):
+        """Several variants share the planning rng layout of the
+        sequential per-variant loop, at any worker count and with or
+        without the shared clean model."""
+        def build_specs():
+            spawner = SeedSpawner(5).spawn("test-sweeps")
+            return [
+                (
+                    SweepSpec(
+                        key=name,
+                        attack=attack,
+                        fractions=self.FRACTIONS,
+                    ),
+                    spawner.rng(f"sweep:{name}"),
+                )
+                for name, attack in (
+                    ("optimal", OptimalDictionaryAttack.from_vocabulary(sweep_corpus.vocabulary)),
+                    ("usenet", UsenetDictionaryAttack.from_vocabulary(sweep_corpus.vocabulary)),
+                )
+            ]
+
+        runs = [
+            run_attack_sweeps(sweep_inbox, build_specs(), 3, workers=workers, reuse_clean_model=reuse)
+            for workers, reuse in ((1, True), (2, True), (1, False))
+        ]
+        signatures = [
+            [(result.key, result.confusion_dicts()) for result in run] for run in runs
+        ]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_rejects_descending_fractions(self, sweep_corpus):
+        with pytest.raises(ExperimentError):
+            SweepSpec(
+                key="x",
+                attack=OptimalDictionaryAttack.from_vocabulary(sweep_corpus.vocabulary),
+                fractions=(0.05, 0.01),
+            )
+
+    def test_rejects_duplicate_spec_keys(self, sweep_corpus, sweep_inbox):
+        attack = OptimalDictionaryAttack.from_vocabulary(sweep_corpus.vocabulary)
+        specs = [
+            (SweepSpec(key="dup", attack=attack, fractions=(0.0,)), random.Random(1)),
+            (SweepSpec(key="dup", attack=attack, fractions=(0.0,)), random.Random(2)),
+        ]
+        with pytest.raises(EngineError):
+            run_attack_sweeps(sweep_inbox, specs, 3)
+
+
+# ----------------------------------------------------------------------
+# Driver-level equivalence: workers=2 == workers=1
+# ----------------------------------------------------------------------
+
+
+class TestDriverEquivalence:
+    def test_dictionary_experiment(self):
+        from dataclasses import replace
+        from repro.experiments.dictionary_exp import (
+            DictionaryExperimentConfig,
+            run_dictionary_experiment,
+        )
+
+        config = DictionaryExperimentConfig(
+            inbox_size=120,
+            folds=3,
+            attack_fractions=(0.0, 0.05),
+            variants=("optimal", "usenet"),
+            profile=TINY_PROFILE,
+            corpus_ham=120,
+            corpus_spam=120,
+            seed=2,
+        )
+        sequential = run_dictionary_experiment(config)
+        parallel = run_dictionary_experiment(replace(config, workers=2))
+        assert sequential.to_record().as_dict() == parallel.to_record().as_dict()
+
+    def test_threshold_experiment(self):
+        from dataclasses import replace
+        from repro.experiments.threshold_exp import (
+            ThresholdExperimentConfig,
+            run_threshold_experiment,
+        )
+
+        config = ThresholdExperimentConfig(
+            inbox_size=120,
+            folds=3,
+            attack_fractions=(0.0, 0.05),
+            quantiles=(0.10,),
+            profile=TINY_PROFILE,
+            corpus_ham=120,
+            corpus_spam=120,
+            seed=2,
+        )
+        sequential = run_threshold_experiment(config)
+        parallel = run_threshold_experiment(replace(config, workers=2))
+        assert sequential.to_record().as_dict() == parallel.to_record().as_dict()
+        assert sequential.fitted_thresholds == parallel.fitted_thresholds
+
+    def test_focused_experiments(self):
+        from dataclasses import replace
+        from repro.experiments.focused_exp import (
+            FocusedExperimentConfig,
+            run_focused_knowledge_experiment,
+            run_focused_size_experiment,
+        )
+
+        config = FocusedExperimentConfig(
+            inbox_size=100,
+            n_targets=3,
+            repetitions=2,
+            attack_count=10,
+            guess_probabilities=(0.3, 0.9),
+            size_sweep_fractions=(0.0, 0.05),
+            profile=TINY_PROFILE,
+            corpus_ham=120,
+            corpus_spam=120,
+            seed=2,
+        )
+        assert (
+            run_focused_knowledge_experiment(config).to_record().as_dict()
+            == run_focused_knowledge_experiment(replace(config, workers=2)).to_record().as_dict()
+        )
+        assert (
+            run_focused_size_experiment(config).to_record().as_dict()
+            == run_focused_size_experiment(replace(config, workers=2)).to_record().as_dict()
+        )
+
+    def test_roni_experiment(self):
+        from dataclasses import replace
+        from repro.defenses.roni import RoniConfig
+        from repro.experiments.roni_exp import RoniExperimentConfig, run_roni_experiment
+
+        config = RoniExperimentConfig(
+            pool_size=80,
+            roni=RoniConfig(train_size=10, validation_size=20, trials=2),
+            n_nonattack_spam=6,
+            repetitions_per_variant=2,
+            variants=("optimal", "usenet"),
+            profile=TINY_PROFILE,
+            corpus_ham=120,
+            corpus_spam=120,
+            seed=2,
+        )
+        sequential = run_roni_experiment(config)
+        parallel = run_roni_experiment(replace(config, workers=2))
+        assert sequential.attack_impacts == parallel.attack_impacts
+        assert sequential.nonattack_spam_impacts == parallel.nonattack_spam_impacts
+
+    def test_goodword_experiment(self):
+        from dataclasses import replace
+        from repro.experiments.goodword_exp import (
+            GoodWordExperimentConfig,
+            run_goodword_experiment,
+        )
+
+        config = GoodWordExperimentConfig(
+            inbox_size=120,
+            n_test_spam=8,
+            word_budgets=(0, 20, 80),
+            oracle_candidates=200,
+            profile=TINY_PROFILE,
+            corpus_ham=140,
+            corpus_spam=140,
+            seed=2,
+        )
+        sequential = run_goodword_experiment(config)
+        parallel = run_goodword_experiment(replace(config, workers=2))
+        assert sequential.evasion == parallel.evasion
+        assert sequential.median_words_to_evade == parallel.median_words_to_evade

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Docs link checker: fail when README/docs reference things that
+don't exist.
+
+Checked, across ``README.md`` and every ``docs/*.md``:
+
+* **markdown links** ``[text](target)`` — non-URL targets must exist
+  on disk (anchors are stripped; ``#section`` fragments within a file
+  are not resolved);
+* **path-looking code spans** — a backtick span that looks like a repo
+  path (contains ``/`` and a known extension, or starts with a
+  top-level source directory) must exist on disk;
+* **CLI invocations** — every ``python -m repro <artifact> …`` mention
+  must name subcommands that :data:`repro.cli.ARTIFACTS` actually
+  registers (or ``all``), and flags it actually defines.
+
+Run directly (``make docs-check``)::
+
+    PYTHONPATH=src python tools/check_docs_links.py
+
+Exit status 0 when clean, 1 with a findings report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DOC_FILES = ["README.md", *sorted(p.relative_to(REPO_ROOT).as_posix() for p in (REPO_ROOT / "docs").glob("*.md"))]
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+CLI_CALL = re.compile(r"python -m repro\s+((?:[\w.-]+\s*)+)")
+PATH_EXTENSIONS = (".py", ".md", ".ini", ".txt", ".toml", ".cfg", ".json")
+SOURCE_PREFIXES = ("src/", "docs/", "tests/", "benchmarks/", "examples/", "tools/")
+
+
+def looks_like_repo_path(span: str) -> bool:
+    if any(ch in span for ch in " <>{}$(*"):  # commands, placeholders, globs
+        return False
+    if "://" in span:
+        return False
+    if span.startswith(SOURCE_PREFIXES):
+        return True
+    return "/" in span and span.endswith(PATH_EXTENSIONS)
+
+
+def check_file(doc: Path, cli_artifacts: set[str], cli_flags: set[str]) -> list[str]:
+    problems: list[str] = []
+    text = doc.read_text(encoding="utf-8")
+
+    for match in MARKDOWN_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (doc.parent / target) if not target.startswith("/") else REPO_ROOT / target.lstrip("/")
+        if not resolved.exists():
+            problems.append(f"{doc.name}: broken link target {target!r}")
+
+    for match in CODE_SPAN.finditer(text):
+        span = match.group(1).strip()
+        if not looks_like_repo_path(span):
+            continue
+        if not (REPO_ROOT / span).exists():
+            problems.append(f"{doc.name}: referenced path {span!r} does not exist")
+
+    for match in CLI_CALL.finditer(text):
+        seen_flag = False
+        skip_value = False
+        for word in match.group(1).split():
+            if skip_value:  # the previous word was a value-taking flag
+                skip_value = False
+                continue
+            if word.startswith("--"):
+                seen_flag = True
+                flag = word.split("=", 1)[0]
+                if flag not in cli_flags:
+                    problems.append(f"{doc.name}: unknown CLI flag {flag!r}")
+                skip_value = "=" not in word
+                continue
+            if seen_flag or word.endswith(("…", "...")):
+                continue  # flag values / elided continuations in prose
+            if word not in cli_artifacts:
+                problems.append(f"{doc.name}: unknown CLI subcommand {word!r}")
+                break  # everything after an unknown word is its args
+    return problems
+
+
+def main() -> int:
+    from repro.cli import ARTIFACTS, build_parser
+
+    cli_artifacts = set(ARTIFACTS) | {"all"}
+    cli_flags = {
+        option
+        for action in build_parser()._actions
+        for option in action.option_strings
+    }
+    problems: list[str] = []
+    for name in DOC_FILES:
+        doc = REPO_ROOT / name
+        if not doc.exists():
+            problems.append(f"expected documentation file missing: {name}")
+            continue
+        problems.extend(check_file(doc, cli_artifacts, cli_flags))
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"docs-check: OK ({len(DOC_FILES)} files, CLI artifacts: {sorted(cli_artifacts)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
