@@ -11,9 +11,17 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Seconds-long proof that the parallel sweep engine reproduces the
-# sequential results (and a rough speedup reading).
+# sequential results (and a rough speedup reading), plus the
+# classifier-core micro-benchmarks (ID core vs retained dict core,
+# bit-identical outputs asserted; JSON record in benchmarks/results/).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_sweep.py --scale smoke --workers 2
+	$(PYTHON) benchmarks/bench_classifier_core.py --scale smoke
+
+# The classifier-core micro-benchmarks at the default (1/10) scale;
+# writes benchmarks/results/BENCH_classifier_core.json.
+bench-core:
+	$(PYTHON) benchmarks/bench_classifier_core.py --scale small
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

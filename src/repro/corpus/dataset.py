@@ -8,20 +8,28 @@ objects with the operations the paper's protocol needs:
 * *K-fold cross-validation* — partition into folds, yielding
   train/test pairs (Section 4.1),
 * *token caching* — each message's token set is computed once and
-  shared by every fold, repetition and attack sweep that touches it.
+  shared by every fold, repetition and attack sweep that touches it,
+* *ID encoding* — against a shared
+  :class:`~repro.spambayes.token_table.TokenTable`, each message's
+  token set is interned once into a sorted token-ID ``array``
+  (:meth:`LabeledMessage.token_ids`); the classifier's ``*_ids``
+  methods and the sweep engine's workers consume these directly, so no
+  string is hashed in any training or scoring loop.
 
 Datasets are cheap views: folds and samples share the underlying
-``LabeledMessage`` objects (and therefore the token cache).
+``LabeledMessage`` objects (and therefore the token and ID caches).
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import CorpusError
 from repro.spambayes.message import Email
+from repro.spambayes.token_table import TokenTable
 from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
 
 __all__ = ["LabeledMessage", "Dataset"]
@@ -29,11 +37,14 @@ __all__ = ["LabeledMessage", "Dataset"]
 
 @dataclass(slots=True)
 class LabeledMessage:
-    """One email with its gold label and a cached token set."""
+    """One email with its gold label, a cached token set and a cached
+    token-ID encoding."""
 
     email: Email
     is_spam: bool
     _tokens: frozenset[str] | None = field(default=None, repr=False)
+    _token_ids: array | None = field(default=None, repr=False)
+    _ids_table: TokenTable | None = field(default=None, repr=False, compare=False)
 
     @property
     def msgid(self) -> str:
@@ -50,8 +61,24 @@ class LabeledMessage:
             self._tokens = frozenset(tokenizer.tokenize(self.email))
         return self._tokens
 
+    def token_ids(self, table: TokenTable, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> array:
+        """The message's sorted, duplicate-free token-ID array.
+
+        Encoded once per ``table`` (identity-keyed cache) and then
+        reused by every fold, attack batch and worker that scores or
+        trains this message.  The table is append-only, so a cached
+        encoding never goes stale — new vocabulary elsewhere cannot
+        shift these IDs.
+        """
+        if self._token_ids is None or self._ids_table is not table:
+            self._token_ids = table.encode_unique(self.tokens(tokenizer))
+            self._ids_table = table
+        return self._token_ids
+
     def invalidate_tokens(self) -> None:
         self._tokens = None
+        self._token_ids = None
+        self._ids_table = None
 
 
 class Dataset:
@@ -206,6 +233,25 @@ class Dataset:
         """Force-populate every message's token cache (bulk warm-up)."""
         for message in self._messages:
             message.tokens(tokenizer)
+
+    def encode(
+        self,
+        table: TokenTable | None = None,
+        tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+    ) -> TokenTable:
+        """Encode every message into sorted token-ID arrays.
+
+        Interns the dataset's whole vocabulary into ``table`` (a fresh
+        one when omitted) and populates each message's
+        :meth:`LabeledMessage.token_ids` cache.  Returns the table —
+        hand it to ``Classifier(options, table=...)`` so the encoded
+        arrays index straight into the classifier's count columns.
+        """
+        if table is None:
+            table = TokenTable()
+        for message in self._messages:
+            message.token_ids(table, tokenizer)
+        return table
 
     def vocabulary(self, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> set[str]:
         """Union of all token sets in the dataset."""

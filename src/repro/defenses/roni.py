@@ -23,15 +23,23 @@ spam costs at most 4.4 — so any threshold in between identifies 100%
 of attack emails with zero false positives.  The default threshold
 sits at the midpoint, 5.6, and is configurable for the ablation bench.
 
-Implementation notes: the five baseline filters are trained once; each
-query is measured by learning it into a trial filter, re-scoring the
-validation set, and unlearning it again — both operations are exact
-inverses in this classifier, so no copying is needed.
+Implementation notes: the ``trials`` baseline filters are trained once
+and share one interning :class:`TokenTable` (pass the pool's table to
+share encodings across defenses); each validation set is pre-encoded
+into token-ID arrays at construction.  A query is measured by learning
+it into a trial filter, re-scoring the validation set through the
+columnar bulk kernel (:meth:`Classifier.score_many_ids`), and
+unlearning it again — both operations are exact inverses in this
+classifier, so no copying is needed.  :meth:`RoniDefense.measure_many`
+amortizes the gate over a candidate batch: candidates are encoded once
+and swept trial-by-trial, which is how :meth:`filter_messages` avoids
+paying a per-message re-encode for every trial.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -41,6 +49,7 @@ from repro.errors import DefenseError
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.token_table import TokenTable
 from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
 
 __all__ = ["RoniConfig", "RoniMeasurement", "RoniVerdict", "RoniDefense"]
@@ -104,37 +113,46 @@ class RoniVerdict:
         return DefenseVerdict.REJECT if self.rejected else DefenseVerdict.ACCEPT
 
 
-class _Trial:
-    """One (T, V) resample with its pre-trained baseline filter."""
+_COUNT_KEYS = ("ham_as_ham", "ham_as_spam", "ham_as_unsure", "spam_as_spam")
 
-    __slots__ = ("classifier", "validation", "baseline_counts")
+
+class _Trial:
+    """One (T, V) resample: baseline filter + encoded validation set."""
+
+    __slots__ = ("classifier", "validation_ids", "validation_labels", "baseline_counts")
 
     def __init__(
         self,
         classifier: Classifier,
-        validation: list[tuple[frozenset[str], bool]],
+        validation_ids: list[array],
+        validation_labels: list[bool],
     ) -> None:
         self.classifier = classifier
-        self.validation = validation
-        self.baseline_counts = _validation_counts(classifier, validation)
+        self.validation_ids = validation_ids
+        self.validation_labels = validation_labels
+        self.baseline_counts = _validation_counts(classifier, validation_ids, validation_labels)
 
 
 def _validation_counts(
-    classifier: Classifier, validation: Sequence[tuple[frozenset[str], bool]]
+    classifier: Classifier,
+    validation_ids: Sequence[array],
+    validation_labels: Sequence[bool],
 ) -> dict[str, int]:
-    """Count validation outcomes under ``classifier``'s current state."""
+    """Count validation outcomes under ``classifier``'s current state.
+
+    One :meth:`Classifier.score_many_ids` pass over the pre-encoded
+    validation set — the whole set shares the kernel's per-token
+    significance memo instead of re-deriving it per message.
+    """
     options = classifier.options
-    counts = {
-        "ham_as_ham": 0,
-        "ham_as_spam": 0,
-        "ham_as_unsure": 0,
-        "spam_as_spam": 0,
-    }
-    for tokens, is_spam in validation:
-        score = classifier.score(tokens)
-        if score <= options.ham_cutoff:
+    ham_cutoff = options.ham_cutoff
+    spam_cutoff = options.spam_cutoff
+    counts = dict.fromkeys(_COUNT_KEYS, 0)
+    scores = classifier.score_many_ids(validation_ids)
+    for is_spam, score in zip(validation_labels, scores):
+        if score <= ham_cutoff:
             label = Label.HAM
-        elif score <= options.spam_cutoff:
+        elif score <= spam_cutoff:
             label = Label.UNSURE
         else:
             label = Label.SPAM
@@ -161,14 +179,18 @@ class RoniDefense:
         config: RoniConfig = RoniConfig(),
         options: ClassifierOptions = DEFAULT_OPTIONS,
         tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+        table: TokenTable | None = None,
     ) -> None:
         """Build the ``trials`` baseline (T, V) resamples from ``pool``.
 
         ``pool`` is the email already available for training (assumed
-        clean — the paper samples from the initial inbox).
+        clean — the paper samples from the initial inbox).  ``table``
+        is the interning table the trial filters share; pass the pool's
+        pre-encoded table so messages are not re-encoded per defense.
         """
         self.config = config
         self.tokenizer = tokenizer
+        self._table = table if table is not None else TokenTable()
         needed = config.train_size + config.validation_size
         n_ham, n_spam = pool.counts()
         if n_ham + n_spam < needed:
@@ -180,17 +202,57 @@ class RoniDefense:
             sample = pool.sample_inbox(needed, config.spam_fraction, rng)
             train = sample.messages[: config.train_size]
             validation = sample.messages[config.train_size :]
-            classifier = Classifier(options)
+            classifier = Classifier(options, table=self._table)
             for message in train:
-                classifier.learn(message.tokens(tokenizer), message.is_spam)
-            validation_tokens = [
-                (message.tokens(tokenizer), message.is_spam) for message in validation
+                classifier.learn_ids(
+                    message.token_ids(self._table, tokenizer), message.is_spam
+                )
+            validation_ids = [
+                message.token_ids(self._table, tokenizer) for message in validation
             ]
-            self._trials.append(_Trial(classifier, validation_tokens))
+            validation_labels = [message.is_spam for message in validation]
+            self._trials.append(_Trial(classifier, validation_ids, validation_labels))
+
+    @property
+    def table(self) -> TokenTable:
+        """The interning table shared by the trial filters."""
+        return self._table
 
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
+
+    def _measure_encoded(self, encoded: Sequence[tuple[array, bool]]) -> list[RoniMeasurement]:
+        """Averaged incremental impact for a batch of encoded candidates.
+
+        Trial-major order: each trial filter learns, re-counts and
+        unlearns every candidate in turn, so the batch reuses the
+        trial's warm state instead of rebuilding it per candidate.
+        Results are exactly per-candidate :meth:`measure_tokens`.
+        """
+        totals = [dict.fromkeys(_COUNT_KEYS, 0.0) for _ in encoded]
+        for trial in self._trials:
+            classifier = trial.classifier
+            baseline = trial.baseline_counts
+            for candidate_totals, (ids, is_spam) in zip(totals, encoded):
+                classifier.learn_ids(ids, is_spam)
+                after = _validation_counts(
+                    classifier, trial.validation_ids, trial.validation_labels
+                )
+                classifier.unlearn_ids(ids, is_spam)
+                for key in _COUNT_KEYS:
+                    candidate_totals[key] += after[key] - baseline[key]
+        n = len(self._trials)
+        return [
+            RoniMeasurement(
+                ham_as_ham_delta=candidate_totals["ham_as_ham"] / n,
+                ham_as_spam_delta=candidate_totals["ham_as_spam"] / n,
+                ham_as_unsure_delta=candidate_totals["ham_as_unsure"] / n,
+                spam_as_spam_delta=candidate_totals["spam_as_spam"] / n,
+                trials=n,
+            )
+            for candidate_totals in totals
+        ]
 
     def measure_tokens(self, tokens: Iterable[str], is_spam: bool = True) -> RoniMeasurement:
         """Average incremental impact of one candidate message.
@@ -199,51 +261,58 @@ class RoniDefense:
         validation set, and unlearns it — leaving the trial baselines
         untouched for the next query.
         """
-        token_set = frozenset(tokens)
-        totals = {
-            "ham_as_ham": 0.0,
-            "ham_as_spam": 0.0,
-            "ham_as_unsure": 0.0,
-            "spam_as_spam": 0.0,
-        }
-        for trial in self._trials:
-            trial.classifier.learn(token_set, is_spam)
-            after = _validation_counts(trial.classifier, trial.validation)
-            trial.classifier.unlearn(token_set, is_spam)
-            for key in totals:
-                totals[key] += after[key] - trial.baseline_counts[key]
-        n = len(self._trials)
-        return RoniMeasurement(
-            ham_as_ham_delta=totals["ham_as_ham"] / n,
-            ham_as_spam_delta=totals["ham_as_spam"] / n,
-            ham_as_unsure_delta=totals["ham_as_unsure"] / n,
-            spam_as_spam_delta=totals["spam_as_spam"] / n,
-            trials=n,
-        )
+        ids = self._table.encode_unique(tokens)
+        return self._measure_encoded([(ids, is_spam)])[0]
 
     def measure(self, message: LabeledMessage) -> RoniMeasurement:
-        return self.measure_tokens(message.tokens(self.tokenizer), message.is_spam)
+        return self._measure_encoded(
+            [(message.token_ids(self._table, self.tokenizer), message.is_spam)]
+        )[0]
+
+    def measure_many(self, candidates: Sequence[LabeledMessage]) -> list[RoniMeasurement]:
+        """:meth:`measure` for a whole candidate batch in one sweep.
+
+        Candidates are encoded once up front; the per-trial inner loop
+        is then pure ID-column work.  Returns one measurement per
+        candidate, in order, identical to per-message :meth:`measure`.
+        """
+        encoded = [
+            (message.token_ids(self._table, self.tokenizer), message.is_spam)
+            for message in candidates
+        ]
+        return self._measure_encoded(encoded)
 
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
 
-    def judge_tokens(self, tokens: Iterable[str], is_spam: bool = True) -> RoniVerdict:
-        measurement = self.measure_tokens(tokens, is_spam)
+    def _verdict(self, measurement: RoniMeasurement) -> RoniVerdict:
         rejected = measurement.ham_as_ham_decrease >= self.config.ham_as_ham_threshold
         return RoniVerdict(measurement=measurement, rejected=rejected)
 
+    def judge_tokens(self, tokens: Iterable[str], is_spam: bool = True) -> RoniVerdict:
+        return self._verdict(self.measure_tokens(tokens, is_spam))
+
     def judge(self, message: LabeledMessage) -> RoniVerdict:
-        return self.judge_tokens(message.tokens(self.tokenizer), message.is_spam)
+        return self._verdict(self.measure(message))
 
     def filter_messages(
         self, candidates: Iterable[LabeledMessage]
     ) -> tuple[list[LabeledMessage], list[LabeledMessage]]:
-        """Split ``candidates`` into (accepted, rejected) lists."""
+        """Split ``candidates`` into (accepted, rejected) lists.
+
+        Routed through :meth:`measure_many`: each candidate still
+        re-scores the validation set once per trial (the protocol
+        demands it), but the batch encodes every candidate exactly
+        once and sweeps trial-major, so the per-message string
+        re-encode and memo cold starts of the one-at-a-time path are
+        gone.
+        """
+        candidates = list(candidates)
         accepted: list[LabeledMessage] = []
         rejected: list[LabeledMessage] = []
-        for message in candidates:
-            if self.judge(message).rejected:
+        for message, measurement in zip(candidates, self.measure_many(candidates)):
+            if self._verdict(measurement).rejected:
                 rejected.append(message)
             else:
                 accepted.append(message)

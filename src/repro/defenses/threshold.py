@@ -151,12 +151,15 @@ class DynamicThresholdDefense:
             raise DefenseError("both halves need ham and spam to fit thresholds")
         classifier = Classifier(self.options)
         _learn_dataset_grouped(classifier, half_f, self.tokenizer)
-        ham_scores = [
-            classifier.score(message.tokens(self.tokenizer)) for message in half_v.ham
-        ]
-        spam_scores = [
-            classifier.score(message.tokens(self.tokenizer)) for message in half_v.spam
-        ]
+        # One bulk pass per class: the validation halves share the
+        # kernel's significance memo instead of re-deriving it per
+        # message (scores are exactly the per-message ones).
+        ham_scores = classifier.score_many(
+            message.tokens(self.tokenizer) for message in half_v.ham
+        )
+        spam_scores = classifier.score_many(
+            message.tokens(self.tokenizer) for message in half_v.spam
+        )
         return self.fit_from_scores(ham_scores, spam_scores)
 
     # ------------------------------------------------------------------

@@ -22,9 +22,15 @@ results are bit-identical at any worker count, and identical to the
 sequential seed implementation retained as
 :func:`sequential_reference_sweep`.
 
-**Bulk scoring.**  Held-out folds are scored through
-:meth:`Classifier.score_many`, which shares per-token significance
-work across the fold's messages.
+**Bulk scoring over encoded messages.**  The inbox is encoded once into
+sorted token-ID arrays against a shared
+:class:`~repro.spambayes.token_table.TokenTable`
+(:meth:`repro.corpus.dataset.Dataset.encode`); workers receive the
+arrays plus the table — a far smaller pickle than per-message string
+sets — and train/score through the classifier's ``*_ids`` methods, so
+the inner loops never hash a string.  Held-out folds are scored through
+:meth:`Classifier.score_many_ids`, the columnar kernel that shares
+per-token significance work across the fold's messages.
 
 The shared primitives the experiment drivers use (grouped training,
 dataset evaluation, the incremental attack trainer) live here too;
@@ -35,6 +41,7 @@ historical names.
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -46,6 +53,7 @@ from repro.errors import EngineError, ExperimentError
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.token_table import TokenTable
 from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.experiments
@@ -85,14 +93,31 @@ def attack_message_count(base_size: int, fraction: float) -> int:
     return round(base_size * fraction / (1.0 - fraction))
 
 
-def _grouped_token_sets(
-    messages: Iterable[LabeledMessage], tokenizer: Tokenizer
-) -> dict[tuple[bool, frozenset[str]], int]:
-    groups: dict[tuple[bool, frozenset[str]], int] = {}
+def _grouped_encoded(
+    messages: Iterable[LabeledMessage],
+    table: TokenTable,
+    tokenizer: Tokenizer,
+) -> list[tuple[array, bool, int]]:
+    """Collapse ``messages`` into (token_ids, is_spam, count) groups.
+
+    Grouping happens on the cached token *frozensets* — attack batches
+    materialize thousands of messages sharing one set object, and its
+    cached hash makes the probe O(1) — while each distinct set is
+    encoded exactly once, through the message-level
+    :meth:`~repro.corpus.dataset.LabeledMessage.token_ids` cache.
+    """
+    groups: dict[tuple[bool, frozenset[str]], list] = {}
     for message in messages:
         key = (message.is_spam, message.tokens(tokenizer))
-        groups[key] = groups.get(key, 0) + 1
-    return groups
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = [message, 1]
+        else:
+            entry[1] += 1
+    return [
+        (message.token_ids(table, tokenizer), is_spam, count)
+        for (is_spam, _), (message, count) in groups.items()
+    ]
 
 
 def train_grouped(
@@ -100,9 +125,13 @@ def train_grouped(
     messages: Iterable[LabeledMessage],
     tokenizer: Tokenizer = DEFAULT_TOKENIZER,
 ) -> None:
-    """Train ``messages``, collapsing identical token sets into one pass."""
-    for (is_spam, tokens), count in _grouped_token_sets(messages, tokenizer).items():
-        classifier.learn_repeated(tokens, is_spam, count)
+    """Train ``messages``, collapsing identical token sets into one pass.
+
+    Messages are encoded against the classifier's interning table, so
+    training is a sweep over ID arrays, not string sets.
+    """
+    for ids, is_spam, count in _grouped_encoded(messages, classifier.table, tokenizer):
+        classifier.learn_ids_repeated(ids, is_spam, count)
 
 
 def unlearn_grouped(
@@ -116,8 +145,8 @@ def unlearn_grouped(
     full-inbox model: unlearn the held-out stripe instead of retraining
     the other K-1 folds.
     """
-    for (is_spam, tokens), count in _grouped_token_sets(messages, tokenizer).items():
-        classifier.unlearn_repeated(tokens, is_spam, count)
+    for ids, is_spam, count in _grouped_encoded(messages, classifier.table, tokenizer):
+        classifier.unlearn_ids_repeated(ids, is_spam, count)
 
 
 def evaluate_dataset(
@@ -129,9 +158,10 @@ def evaluate_dataset(
 ) -> "ConfusionCounts":
     """Classify ``messages`` and tally a confusion matrix.
 
-    Scores through :meth:`Classifier.score_many`, the bulk path that
-    shares per-token work across the batch (scores are exactly the
-    per-message ones).  ``cutoffs`` overrides the classifier's
+    Scores through :meth:`Classifier.score_many_ids`, the columnar bulk
+    kernel, over ID arrays encoded against the classifier's interning
+    table (encoded once per message, cached).  Scores are exactly the
+    per-message ones.  ``cutoffs`` overrides the classifier's
     (θ0, θ1) without touching its state — the dynamic-threshold
     experiment evaluates one trained classifier under several
     threshold fits.
@@ -141,7 +171,8 @@ def evaluate_dataset(
     else:
         ham_cutoff, spam_cutoff = cutoffs
     kept = [m for m in messages if not (ham_only and m.is_spam)]
-    scores = classifier.score_many(m.tokens(tokenizer) for m in kept)
+    table = classifier.table
+    scores = classifier.score_many_ids([m.token_ids(table, tokenizer) for m in kept])
     counts = _confusion_counts()()
     for message, score in zip(kept, scores):
         if score <= ham_cutoff:
@@ -164,11 +195,18 @@ class AttackSweepPoint:
 
 
 class IncrementalAttackTrainer:
-    """Feeds a fold's classifier ever more of one attack batch."""
+    """Feeds a fold's classifier ever more of one attack batch.
+
+    Each group's token set is interned once, on first use, into the
+    classifier's table; the contamination sweep then re-trains the same
+    group at successive fractions via pure ID-column arithmetic — a
+    dictionary attack's ~10^5-token set is not re-hashed per fraction.
+    """
 
     def __init__(self, classifier: Classifier, batch: AttackBatch) -> None:
         self._classifier = classifier
         self._groups = batch.groups
+        self._encoded: list[array | None] = [None] * len(batch.groups)
         self._group_index = 0
         self._used_in_group = 0
         self.trained = 0
@@ -185,9 +223,13 @@ class IncrementalAttackTrainer:
                     f"attack batch exhausted at {self.trained} of {target} messages"
                 )
             group = self._groups[self._group_index]
+            ids = self._encoded[self._group_index]
+            if ids is None:
+                ids = self._classifier.encode_tokens(group.training_tokens)
+                self._encoded[self._group_index] = ids
             available = group.count - self._used_in_group
             take = min(available, target - self.trained)
-            self._classifier.learn_repeated(group.training_tokens, True, take)
+            self._classifier.learn_ids_repeated(ids, True, take)
             self._used_in_group += take
             self.trained += take
             if self._used_in_group == group.count:
@@ -253,26 +295,39 @@ class _SpecPayload:
 class _SweepContext:
     """Read-only worker context, shipped once per worker process.
 
-    The inbox travels as parallel tuples of token sets and labels, not
-    as :class:`Dataset` — workers never look at bodies or headers, and
-    dropping them cuts the per-worker pickle by an order of magnitude.
+    The inbox travels as parallel tuples of sorted token-ID arrays and
+    labels plus ONE interning table, not as :class:`Dataset` — workers
+    never look at bodies, headers or token strings, and machine-packed
+    ID arrays cut the per-worker pickle well below even the old
+    frozenset representation.  ``full_model`` shares the same table
+    object, so the arrays index directly into its count columns on the
+    other side of the pickle.
     """
 
-    token_sets: tuple[frozenset[str], ...]
+    token_ids: tuple[array, ...]
     labels: tuple[bool, ...]
     specs: dict[str, _SpecPayload]
     options: ClassifierOptions
+    table: TokenTable
     full_model: Classifier | None
 
 
-def _grouped_indices(
+def _grouped_id_indices(
     context: _SweepContext, indices: tuple[int, ...]
-) -> dict[tuple[bool, frozenset[str]], int]:
-    groups: dict[tuple[bool, frozenset[str]], int] = {}
+) -> list[tuple[array, bool, int]]:
+    """Collapse index lists into (token_ids, is_spam, count) groups."""
+    groups: dict[tuple[bool, bytes], list] = {}
+    token_ids = context.token_ids
+    labels = context.labels
     for i in indices:
-        key = (context.labels[i], context.token_sets[i])
-        groups[key] = groups.get(key, 0) + 1
-    return groups
+        ids = token_ids[i]
+        key = (labels[i], ids.tobytes())
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = [ids, 1]
+        else:
+            entry[1] += 1
+    return [(ids, is_spam, count) for (is_spam, _), (ids, count) in groups.items()]
 
 
 def _fold_classifier(context: _SweepContext, task: _FoldTask):
@@ -280,12 +335,12 @@ def _fold_classifier(context: _SweepContext, task: _FoldTask):
     if context.full_model is not None:
         classifier = context.full_model
         snap = classifier.snapshot()
-        for (is_spam, tokens), count in _grouped_indices(context, task.test_indices).items():
-            classifier.unlearn_repeated(tokens, is_spam, count)
+        for ids, is_spam, count in _grouped_id_indices(context, task.test_indices):
+            classifier.unlearn_ids_repeated(ids, is_spam, count)
         return classifier, snap
-    classifier = Classifier(context.options)
-    for (is_spam, tokens), count in _grouped_indices(context, task.train_indices).items():
-        classifier.learn_repeated(tokens, is_spam, count)
+    classifier = Classifier(context.options, table=context.table)
+    for ids, is_spam, count in _grouped_id_indices(context, task.train_indices):
+        classifier.learn_ids_repeated(ids, is_spam, count)
     return classifier, None
 
 
@@ -298,7 +353,7 @@ def _evaluate_indices(
     ham_cutoff = classifier.options.ham_cutoff
     spam_cutoff = classifier.options.spam_cutoff
     kept = [i for i in indices if not (ham_only and context.labels[i])]
-    scores = classifier.score_many(context.token_sets[i] for i in kept)
+    scores = classifier.score_many_ids([context.token_ids[i] for i in kept])
     counts = _confusion_counts()()
     for i, score in zip(kept, scores):
         if score <= ham_cutoff:
@@ -338,6 +393,7 @@ def run_attack_sweeps(
     tokenizer: Tokenizer = DEFAULT_TOKENIZER,
     workers: int | None = 1,
     reuse_clean_model: bool = True,
+    table: TokenTable | None = None,
 ) -> list[SweepResult]:
     """Run every spec's K-fold contamination sweep, fanning folds out.
 
@@ -350,6 +406,10 @@ def run_attack_sweeps(
     full-inbox model with per-fold stripe subtraction; ``False`` keeps
     the naive train-per-fold behaviour (only the benchmark baseline
     wants that).
+
+    ``table`` is the interning table the inbox is encoded against; pass
+    a pre-populated corpus table to reuse encodings across calls, or
+    let the sweep build a private one.
     """
     if not specs:
         raise EngineError("run_attack_sweeps needs at least one spec")
@@ -368,15 +428,17 @@ def run_attack_sweeps(
             tasks.append(
                 _FoldTask(spec.key, fold_index, tuple(train_idx), tuple(test_idx), seed)
             )
+    table = inbox.encode(table, tokenizer)
     full_model: Classifier | None = None
     if reuse_clean_model:
-        full_model = Classifier(options)
+        full_model = Classifier(options, table=table)
         train_grouped(full_model, inbox, tokenizer)
     context = _SweepContext(
-        token_sets=tuple(message.tokens(tokenizer) for message in inbox),
+        token_ids=tuple(message.token_ids(table, tokenizer) for message in inbox),
         labels=tuple(message.is_spam for message in inbox),
         specs=payloads,
         options=options,
+        table=table,
         full_model=full_model,
     )
     per_task = ParallelRunner(workers).map(_run_fold_task, context, tasks)

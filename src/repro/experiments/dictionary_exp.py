@@ -170,6 +170,9 @@ def run_dictionary_experiment(
         config.inbox_size, config.spam_prevalence, spawner.rng("inbox")
     )
     inbox.tokenize_all()
+    # Encode once: every variant's sweep (and its workers) reuses the
+    # same token-ID arrays and interning table.
+    table = inbox.encode()
     attacks = build_attack_variants(corpus, config.variants, seed=config.seed)
     result = DictionaryExperimentResult(config=config)
     specs = [
@@ -185,6 +188,7 @@ def run_dictionary_experiment(
         config.folds,
         options=config.options,
         workers=config.workers,
+        table=table,
     ):
         result.sweeps[sweep.key] = sweep.points
     return result

@@ -30,6 +30,7 @@ bit-identical at any worker count:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -179,8 +180,8 @@ def _prepare_repetitions(config: FocusedExperimentConfig) -> list[_Repetition]:
     )
 
 
-def _label_of_tokens(classifier: Classifier, tokens: frozenset[str]) -> Label:
-    score = classifier.score(tokens)
+def _label_of_ids(classifier: Classifier, target_ids) -> Label:
+    score = classifier.score_ids(target_ids)
     if score <= classifier.options.ham_cutoff:
         return Label.HAM
     if score <= classifier.options.spam_cutoff:
@@ -188,13 +189,16 @@ def _label_of_tokens(classifier: Classifier, tokens: frozenset[str]) -> Label:
     return Label.SPAM
 
 
-def _label_of(classifier: Classifier, message: LabeledMessage) -> Label:
-    return _label_of_tokens(classifier, message.tokens(DEFAULT_TOKENIZER))
-
-
 @dataclass(frozen=True)
 class _EvalContext:
-    """Worker context for the cell-evaluation stage."""
+    """Worker context for the cell-evaluation stage.
+
+    Each repetition's classifier carries its interning table; the
+    tasks' ``target_ids`` were encoded against those tables in the
+    parent *before* this context was built, so the IDs are valid in
+    every worker (tables are append-only — attack batches trained
+    worker-side only ever extend them).
+    """
 
     classifiers: tuple[Classifier, ...]
     counts: tuple[int, ...] = ()
@@ -205,19 +209,19 @@ class _KnowledgeTask:
     """One (repetition, target): its batches, one per guess probability."""
 
     rep_index: int
-    target_tokens: frozenset[str]
+    target_ids: "array"
     batches: tuple[AttackBatch, ...]
 
 
 def _run_knowledge_cell(context: _EvalContext, task: _KnowledgeTask) -> tuple[bool, list[str]]:
     classifier = context.classifiers[task.rep_index]
-    pre_attack_ham = _label_of_tokens(classifier, task.target_tokens) is Label.HAM
+    pre_attack_ham = _label_of_ids(classifier, task.target_ids) is Label.HAM
     labels: list[str] = []
     for batch in task.batches:
         snap = classifier.snapshot()
         try:
             batch.train_into(classifier)
-            labels.append(_label_of_tokens(classifier, task.target_tokens).value)
+            labels.append(_label_of_ids(classifier, task.target_ids).value)
         finally:
             classifier.restore(snap)
     return pre_attack_ham, labels
@@ -228,7 +232,7 @@ class _SizeTask:
     """One (repetition, target): the full-size batch, swept ascending."""
 
     rep_index: int
-    target_tokens: frozenset[str]
+    target_ids: "array"
     batch: AttackBatch
 
 
@@ -240,7 +244,7 @@ def _run_size_cell(context: _EvalContext, task: _SizeTask) -> list[str]:
         labels: list[str] = []
         for count in context.counts:
             trainer.advance_to(count)
-            labels.append(_label_of_tokens(classifier, task.target_tokens).value)
+            labels.append(_label_of_ids(classifier, task.target_ids).value)
         return labels
     finally:
         classifier.restore(snap)
@@ -317,9 +321,8 @@ def run_focused_knowledge_experiment(
                     header_pool=repetition.header_pool,
                 )
                 batches.append(attack.generate(config.attack_count, attack_rng))
-            tasks.append(
-                _KnowledgeTask(rep_index, target.tokens(DEFAULT_TOKENIZER), tuple(batches))
-            )
+            target_ids = target.token_ids(repetition.classifier.table, DEFAULT_TOKENIZER)
+            tasks.append(_KnowledgeTask(rep_index, target_ids, tuple(batches)))
     context = _EvalContext(tuple(rep.classifier for rep in repetitions))
     outcomes = ParallelRunner(config.workers).map(_run_knowledge_cell, context, tasks)
 
@@ -375,7 +378,8 @@ def run_focused_size_experiment(
                 header_pool=repetition.header_pool,
             )
             batch = attack.generate(counts[-1] if counts else 0, attack_rng)
-            tasks.append(_SizeTask(rep_index, target.tokens(DEFAULT_TOKENIZER), batch))
+            target_ids = target.token_ids(repetition.classifier.table, DEFAULT_TOKENIZER)
+            tasks.append(_SizeTask(rep_index, target_ids, batch))
     context = _EvalContext(
         tuple(rep.classifier for rep in repetitions), counts=tuple(counts)
     )

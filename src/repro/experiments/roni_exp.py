@@ -40,6 +40,7 @@ from repro.errors import ExperimentError
 from repro.experiments.results import ExperimentRecord
 from repro.rng import SeedSpawner
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.token_table import TokenTable
 
 __all__ = ["RoniExperimentConfig", "RoniExperimentResult", "run_roni_experiment"]
 
@@ -204,9 +205,16 @@ def _build_variants(
 
 @dataclass(frozen=True)
 class _RoniContext:
-    """Read-only worker context: the pool, the attacks, the knobs."""
+    """Read-only worker context: the pool (pre-encoded), the attacks,
+    the knobs.
+
+    ``table`` is the pool's interning table: every defense built inside
+    a worker shares it, so pool messages are encoded once per process
+    no matter how many calibrations are drawn.
+    """
 
     pool: Dataset
+    table: TokenTable
     attacks: dict[str, DictionaryAttack]
     config: RoniExperimentConfig
     spawner_seed: int
@@ -225,6 +233,7 @@ def _measure_attack_repetition(context: _RoniContext, rep: int) -> list[float]:
         spawner.rng(f"defense[{rep}]"),
         config=context.config.roni,
         options=context.config.options,
+        table=context.table,
     )
     attack_rng = spawner.rng(f"attack[{rep}]")
     impacts = []
@@ -239,15 +248,23 @@ def _measure_attack_repetition(context: _RoniContext, rep: int) -> list[float]:
 def _measure_spam_batch(
     context: _RoniContext, task: tuple[int, tuple[LabeledMessage, ...]]
 ) -> list[float]:
-    """One dedicated calibration measuring a slice of non-attack spam."""
+    """One dedicated calibration measuring a slice of non-attack spam.
+
+    The slice goes through :meth:`RoniDefense.measure_many`: encoded
+    once, then swept trial-by-trial through the bulk scoring kernel.
+    """
     rep, queries = task
     defense = RoniDefense(
         context.pool,
         SeedSpawner(context.spawner_seed).rng(f"spam-defense[{rep}]"),
         config=context.config.roni,
         options=context.config.options,
+        table=context.table,
     )
-    return [defense.measure(message).ham_as_ham_decrease for message in queries]
+    return [
+        measurement.ham_as_ham_decrease
+        for measurement in defense.measure_many(list(queries))
+    ]
 
 
 def run_roni_experiment(
@@ -265,6 +282,7 @@ def run_roni_experiment(
         config.pool_size, config.spam_prevalence, spawner.rng("pool")
     )
     pool.tokenize_all()
+    table = pool.encode()
     pool_ids = {message.msgid for message in pool}
     spam_outside = [m for m in corpus.dataset.spam if m.msgid not in pool_ids]
     if len(spam_outside) < config.n_nonattack_spam:
@@ -275,7 +293,7 @@ def run_roni_experiment(
     attacks = _build_variants(corpus, config)
     result = RoniExperimentResult(config=config)
     result.attack_impacts = {variant: [] for variant in attacks}
-    context = _RoniContext(pool, attacks, config, spawner.seed)
+    context = _RoniContext(pool, table, attacks, config, spawner.seed)
     runner = ParallelRunner(config.workers)
 
     # Attack emails: a fresh RONI calibration per repetition, one email

@@ -265,7 +265,10 @@ def run_threshold_experiment(
         _FoldTask(tuple(train_idx), tuple(test_idx), tuple(drawn_seeds(fold_rng, seeds_per_fold)))
         for train_idx, test_idx in pairs
     ]
-    full_model = Classifier(config.options)
+    # The inbox's shared table: the full model's count columns, the
+    # pre-encoded message arrays and every fold worker all index by it.
+    table = inbox.encode()
+    full_model = Classifier(config.options, table=table)
     train_grouped(full_model, inbox)
     context = _FoldContext(
         inbox=inbox,

@@ -6,7 +6,11 @@ combined with Fisher's chi-square method (Robinson 2003; Meyer &
 Whateley 2004):
 
 * :mod:`repro.spambayes.tokenizer` — header/body tokenization,
-* :mod:`repro.spambayes.classifier` — token statistics, Equations 1-4,
+* :mod:`repro.spambayes.token_table` — str <-> int token interning,
+* :mod:`repro.spambayes.classifier` — token statistics over interned-ID
+  count columns, Equations 1-4,
+* :mod:`repro.spambayes.reference` — the retained dict-keyed core the
+  ID core is differentially tested against,
 * :mod:`repro.spambayes.filter` — the three-way ham/unsure/spam filter,
 * :mod:`repro.spambayes.chi2` — the chi-square survival function used by
   Fisher's method, with the same underflow handling as SpamBayes,
@@ -21,6 +25,7 @@ from repro.spambayes.graham import GRAHAM_OPTIONS, GrahamClassifier
 from repro.spambayes.filter import Label, SpamFilter, ClassifiedMessage
 from repro.spambayes.message import Email
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.token_table import TokenTable
 from repro.spambayes.tokenizer import Tokenizer, tokenize_text
 from repro.spambayes.wordinfo import WordInfo
 
@@ -30,6 +35,7 @@ __all__ = [
     "Classifier",
     "ClassifierSnapshot",
     "TokenScore",
+    "TokenTable",
     "GrahamClassifier",
     "GRAHAM_OPTIONS",
     "Label",

@@ -20,6 +20,25 @@ Message score (Equations 3-4)
     ``I(E) = (1 + H(E) - S(E)) / 2``, a score in ``[0, 1]`` where 0 is
     maximally hammy and 1 maximally spammy.
 
+Storage: the interned token-ID core
+    Tokens are interned through a shared, append-only
+    :class:`~repro.spambayes.token_table.TokenTable` (``str <-> int``),
+    and the per-token statistics live in two parallel ``array`` columns
+    (``spamcount[id]``, ``hamcount[id]``) instead of a str-keyed object
+    store.  Every hot loop — bulk scoring, attack-batch training, the
+    RONI gate — runs over integer IDs with flat array/list indexing; no
+    string is hashed inside a loop.  The string-facing *training* API
+    (:meth:`learn`, ...) interns at the boundary; *scoring* never
+    interns — unseen tokens contribute the prior without growing the
+    shared table.  The ``*_ids`` twins accept pre-encoded ID arrays
+    (see :meth:`~repro.corpus.dataset.LabeledMessage.token_ids`) so a
+    message is encoded once and reused across every fold, attack batch
+    and worker.  The arithmetic is expression-for-expression identical to
+    the retained dict-keyed core
+    (:class:`repro.spambayes.reference.ReferenceClassifier`), so scores
+    are bit-exact against it — ``tests/test_token_table.py`` holds the
+    two side by side to prove it.
+
 Both :meth:`Classifier.learn` and :meth:`Classifier.unlearn` are
 incremental, which the experiment harness leans on heavily: a fold's
 clean model is trained once and attack batches are layered on top, and
@@ -28,35 +47,105 @@ the RONI defense trains/untrains candidate messages in place.
 Snapshot / restore (:meth:`Classifier.snapshot`,
 :meth:`Classifier.restore`)
     A copy-on-write checkpoint of the training state.  ``snapshot()``
-    is O(1): it arms a write-ahead log, and subsequent learn/unlearn
-    calls save each touched token's original counts the *first* time
-    they touch it.  ``restore()`` replays the log, returning the
-    classifier to the exact snapshotted state (integer counts, so the
-    round-trip is bit-exact).  This is what lets the sweep engine keep
-    ONE shared clean model per inbox and derive every fold's classifier
-    from it — unlearn the held-out stripe, layer attack batches, score,
-    restore — instead of retraining K times per attack variant.  One
-    snapshot may be active at a time; restoring deactivates it.
+    is O(1): it arms an ID-keyed write-ahead log, and subsequent
+    learn/unlearn calls save each touched token's original count pair
+    the *first* time they touch it.  ``restore()`` replays the log,
+    returning the classifier to the exact snapshotted state (integer
+    counts, so the round-trip is bit-exact).  This is what lets the
+    sweep engine keep ONE shared clean model per inbox and derive every
+    fold's classifier from it — unlearn the held-out stripe, layer
+    attack batches, score, restore — instead of retraining K times per
+    attack variant.  One snapshot may be active at a time; restoring
+    deactivates it.
 
-Bulk scoring (:meth:`Classifier.score_many`)
-    Scores a sequence of token sets in one pass, sharing a per-call
-    significance memo (token -> (strength, f(w)) or "not significant")
-    across messages on top of the per-token probability cache.  Scores
-    are exactly what per-message :meth:`Classifier.score` returns; the
-    batched path only avoids recomputing the strength filter for
-    tokens that recur across a held-out fold.
+Bulk scoring (:meth:`Classifier.score_many_ids`)
+    The columnar kernel.  Scores a batch of encoded messages in one
+    pass over a flat significance memo indexed by token ID; memo hits —
+    the common case once a fold's vocabulary is warm — are served by a
+    C-level ``map`` over the ID array with no per-token Python
+    bytecode.  The memo persists across calls and is invalidated as a
+    whole by any training call (one pointer write, not a per-token
+    sweep).  Scores are exactly what per-message :meth:`score` returns.
 """
 
 from __future__ import annotations
 
+import math
+from array import array
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.errors import TrainingError
-from repro.spambayes.chi2 import fisher_combine
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
+from repro.spambayes.token_table import TOKEN_ID_TYPECODE, TokenTable
 from repro.spambayes.wordinfo import WordInfo
 
 __all__ = ["Classifier", "ClassifierSnapshot", "TokenScore"]
+
+# Memo sentinel for "never computed" (None means "computed, not
+# significant", so the kernel can drop insignificant entries with a
+# C-level filter(None, ...)).
+_MISSING = object()
+
+_LN2 = math.log(2.0)
+
+
+def _fisher_message_score(probs: Sequence[float]) -> float:
+    """``(1 + H(E) - S(E)) / 2`` — Equations 3-4 in one fused pass.
+
+    Bit-exact restatement of::
+
+        spam = fisher_combine(probs)            # H(E)
+        ham  = fisher_combine([1 - p for p in probs])   # S(E)
+        (1.0 + spam - ham) / 2.0
+
+    The two ``ln_product`` accumulations are interleaved into a single
+    loop over ``probs`` (each accumulator still sees the same values in
+    the same order, so every intermediate float is identical) and the
+    even-dof chi-square survival series is inlined.  This combiner runs
+    once per message on every scoring path, so the function-call and
+    intermediate-list overhead it removes is a measurable slice of a
+    fold sweep.
+    """
+    if not probs:
+        return 0.5
+    mant_spam = 1.0
+    exp_spam = 0
+    mant_ham = 1.0
+    exp_ham = 0
+    frexp = math.frexp
+    for p in probs:
+        if p <= 0.0:
+            raise ValueError(f"ln_product requires positive values, got {p}")
+        q = 1.0 - p
+        if q <= 0.0:
+            raise ValueError(f"ln_product requires positive values, got {q}")
+        mant_spam *= p
+        if mant_spam < 1e-200:
+            mant_spam, shift = frexp(mant_spam)
+            exp_spam += shift
+        mant_ham *= q
+        if mant_ham < 1e-200:
+            mant_ham, shift = frexp(mant_ham)
+            exp_ham += shift
+    log = math.log
+    degrees_half = len(probs)  # chi2q over 2n degrees iterates n-1 terms
+    evidence = []
+    for mantissa, exponent in ((mant_spam, exp_spam), (mant_ham, exp_ham)):
+        x2 = -2.0 * (log(mantissa) + exponent * _LN2)
+        if x2 <= 0.0:
+            evidence.append(1.0)
+            continue
+        half = x2 / 2.0
+        if half > 708.0:  # chi2._EXP_UNDERFLOW_LIMIT
+            evidence.append(0.0)
+            continue
+        term = math.exp(-half)
+        total = term
+        for i in range(1, degrees_half):
+            term *= half / i
+            total += term
+        evidence.append(min(total, 1.0))
+    return (1.0 + evidence[0] - evidence[1]) / 2.0
 
 
 class TokenScore(NamedTuple):
@@ -71,8 +160,8 @@ class ClassifierSnapshot:
 
     Created by :meth:`Classifier.snapshot`; consumed (once) by
     :meth:`Classifier.restore`.  Holds the global message counts plus a
-    write-ahead log of original :class:`WordInfo` records, populated
-    lazily as training calls touch tokens.
+    write-ahead log mapping token ID -> original ``(spamcount,
+    hamcount)`` pair, populated lazily as training calls touch tokens.
     """
 
     __slots__ = ("owner", "nspam", "nham", "log", "active")
@@ -81,9 +170,9 @@ class ClassifierSnapshot:
         self.owner = owner
         self.nspam = nspam
         self.nham = nham
-        # token -> original WordInfo copy, or None if the token was
-        # absent when the snapshot was taken.
-        self.log: dict[str, WordInfo | None] = {}
+        # token ID -> (spamcount, hamcount) at snapshot time; (0, 0)
+        # records a token that was absent.
+        self.log: dict[int, tuple[int, int]] = {}
         self.active = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -92,7 +181,7 @@ class ClassifierSnapshot:
 
 
 class Classifier:
-    """Incremental SpamBayes token classifier.
+    """Incremental SpamBayes token classifier over an interned ID core.
 
     The classifier works on *token streams*; pair it with a
     :class:`~repro.spambayes.tokenizer.Tokenizer` (or use the
@@ -101,14 +190,48 @@ class Classifier:
 
     Token presence is what counts: duplicate tokens within one message
     are collapsed before the statistics are updated or scored.
+
+    ``table`` is the interning :class:`TokenTable`; pass the corpus'
+    shared table so pre-encoded ID arrays (``LabeledMessage.token_ids``)
+    index directly into this classifier's count columns.  Omitted, the
+    classifier owns a private table.  Tables are append-only, so
+    sharing one between classifiers (or with a dataset encoder) is
+    always safe — IDs never shift.
     """
 
-    def __init__(self, options: ClassifierOptions = DEFAULT_OPTIONS) -> None:
+    def __init__(
+        self,
+        options: ClassifierOptions = DEFAULT_OPTIONS,
+        table: TokenTable | None = None,
+    ) -> None:
         self.options = options
-        self._wordinfo: dict[str, WordInfo] = {}
+        self._table = table if table is not None else TokenTable()
+        self._spam = array(TOKEN_ID_TYPECODE)
+        self._ham = array(TOKEN_ID_TYPECODE)
         self._nspam = 0
         self._nham = 0
-        self._prob_cache: dict[str, float] = {}
+        self._active = 0  # IDs with spamcount + hamcount > 0
+        # Flat significance memo indexed by token ID.  Entries:
+        # _MISSING = not yet computed, tuple (-strength, token, prob) =
+        # significant, None = computed and not significant.  An entry
+        # is a pure function of (spamcount[id], hamcount[id], nspam,
+        # nham), so the memo carries the (nspam, nham) pair it was
+        # built under (_memo_tag) plus the IDs touched by mutations
+        # since (_dirty): at the next scoring call, if the global pair
+        # matches the tag again, only the dirty IDs are evicted — the
+        # RONI gate's learn/score/unlearn cycling re-derives a few
+        # hundred candidate tokens instead of the whole validation
+        # vocabulary.  A tag mismatch (or an oversized dirty list)
+        # rebuilds from scratch.
+        self._memo: list | None = None
+        self._memo_tag: tuple[int, int] | None = None
+        self._dirty: list[int] = []
+        # Message-level score memo: id(ids_array) -> (ids_array, score),
+        # valid until the next training call.  Holding the array ref
+        # keeps the id() stable.  Serves repeated evaluations of the
+        # same encoded messages against unchanged state (e.g. one fold
+        # scored under several threshold fits) at dict-probe cost.
+        self._score_memo: dict[int, tuple[array, float]] | None = None
         self._snapshot: ClassifierSnapshot | None = None
 
     # ------------------------------------------------------------------
@@ -126,16 +249,117 @@ class Classifier:
         return self._nham
 
     @property
+    def table(self) -> TokenTable:
+        """The interning table this classifier's columns are indexed by."""
+        return self._table
+
+    @property
     def vocabulary_size(self) -> int:
         """Number of distinct tokens with non-zero training counts."""
-        return len(self._wordinfo)
+        return self._active
 
     def word_info(self, token: str) -> WordInfo | None:
-        """Return the (spamcount, hamcount) record for ``token``, if any."""
-        return self._wordinfo.get(token)
+        """Return a (spamcount, hamcount) record for ``token``, if any.
+
+        The record is a *view copy* of the count columns — mutating it
+        does not change the classifier.
+        """
+        tid = self._table.id_of(token)
+        if tid is None or tid >= len(self._spam):
+            return None
+        spamcount = self._spam[tid]
+        hamcount = self._ham[tid]
+        if spamcount == 0 and hamcount == 0:
+            return None
+        return WordInfo(spamcount, hamcount)
 
     def iter_vocabulary(self) -> Iterable[str]:
-        return iter(self._wordinfo)
+        tokens = self._table
+        spam_col = self._spam
+        ham_col = self._ham
+        for tid in range(len(spam_col)):
+            if spam_col[tid] or ham_col[tid]:
+                yield tokens.token(tid)
+
+    def encode_tokens(self, tokens: Iterable[str]) -> array:
+        """Intern ``tokens`` into this classifier's table as a sorted,
+        duplicate-free ID array, ready for the ``*_ids`` methods."""
+        return self._table.encode_unique(tokens)
+
+    # ------------------------------------------------------------------
+    # Column plumbing
+    # ------------------------------------------------------------------
+
+    def _ensure_columns(self) -> None:
+        """Grow the count columns to cover every interned ID."""
+        grow = len(self._table) - len(self._spam)
+        if grow > 0:
+            zeros = bytes(grow * self._spam.itemsize)
+            self._spam.frombytes(zeros)
+            self._ham.frombytes(zeros)
+
+    def _memo_list(self) -> list:
+        """The flat significance memo, validated and sized to the table.
+
+        Reconciles pending mutations: when the global (nspam, nham)
+        pair equals the pair the memo was built under, every entry for
+        an untouched ID is still exact — evict only the dirty IDs.
+        Otherwise start a fresh memo.
+        """
+        memo = self._memo
+        n = len(self._table)
+        if memo is not None:
+            dirty = self._dirty
+            # The tag is checked even with nothing dirty: a mutation
+            # with an empty token set still moves (nspam, nham), which
+            # every memoized probability depends on.
+            if (self._nspam, self._nham) != self._memo_tag:
+                memo = None
+            elif dirty:
+                limit = len(memo)
+                dirty_set = set(dirty)
+                for tid in dirty_set:
+                    if tid < limit:
+                        memo[tid] = _MISSING
+                score_memo = self._score_memo
+                if score_memo:
+                    # A message score survives iff none of its
+                    # tokens were touched — its entire input state
+                    # is then identical to when it was computed.
+                    stale = [
+                        key
+                        for key, entry in score_memo.items()
+                        if not dirty_set.isdisjoint(entry[0])
+                    ]
+                    for key in stale:
+                        del score_memo[key]
+                dirty.clear()
+        if memo is None:
+            memo = self._memo = [_MISSING] * n
+            self._memo_tag = (self._nspam, self._nham)
+            self._dirty.clear()
+            self._score_memo = None
+        elif len(memo) < n:
+            memo.extend([_MISSING] * (n - len(memo)))
+        return memo
+
+    def _note_mutation(self, ids: Iterable[int]) -> None:
+        """Record a training mutation touching ``ids``.
+
+        The token and message memos survive with the touched IDs queued
+        for lazy, targeted eviction (see :meth:`_memo_list`), unless
+        the dirty backlog grows past the point where a rebuild is
+        cheaper.
+        """
+        if self._memo is None:
+            self._score_memo = None
+            return
+        dirty = self._dirty
+        dirty.extend(ids)
+        if len(dirty) > 1024 and len(dirty) * 4 > len(self._memo):
+            self._memo = None
+            dirty.clear()
+            self._score_memo = None
 
     # ------------------------------------------------------------------
     # Learning
@@ -148,30 +372,26 @@ class Classifier:
         count is incremented along with the global message count.
         """
         unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        intern = self._table.intern
+        ids = [intern(token) for token in unique]
         if is_spam:
             self._nspam += 1
         else:
             self._nham += 1
-        wordinfo = self._wordinfo
-        log = None if self._snapshot is None else self._snapshot.log
+        self._apply_delta(ids, is_spam, 1)
+
+    def learn_ids(self, ids: Sequence[int], is_spam: bool) -> None:
+        """:meth:`learn` for a pre-encoded message.
+
+        ``ids`` must be duplicate-free token IDs from this classifier's
+        :attr:`table` — exactly what :meth:`encode_tokens` or
+        ``LabeledMessage.token_ids`` produce.
+        """
         if is_spam:
-            for token in unique:
-                record = wordinfo.get(token)
-                if log is not None and token not in log:
-                    log[token] = None if record is None else record.copy()
-                if record is None:
-                    record = wordinfo[token] = WordInfo()
-                record.spamcount += 1
+            self._nspam += 1
         else:
-            for token in unique:
-                record = wordinfo.get(token)
-                if log is not None and token not in log:
-                    log[token] = None if record is None else record.copy()
-                if record is None:
-                    record = wordinfo[token] = WordInfo()
-                record.hamcount += 1
-        # Global counts changed, so every cached f(w) is stale.
-        self._prob_cache.clear()
+            self._nham += 1
+        self._apply_delta(ids, is_spam, 1)
 
     def unlearn(self, tokens: Iterable[str], is_spam: bool) -> None:
         """Remove a previously learned message.
@@ -183,41 +403,23 @@ class Classifier:
         leaves the classifier unchanged.
         """
         unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        intern = self._table.intern
+        self.unlearn_ids([intern(token) for token in unique], is_spam)
+
+    def unlearn_ids(self, ids: Sequence[int], is_spam: bool) -> None:
+        """:meth:`unlearn` for a pre-encoded message (see :meth:`learn_ids`)."""
         if is_spam:
             if self._nspam < 1:
                 raise TrainingError("unlearn(spam) with no spam trained")
         else:
             if self._nham < 1:
                 raise TrainingError("unlearn(ham) with no ham trained")
-        wordinfo = self._wordinfo
-        for token in unique:
-            record = wordinfo.get(token)
-            count = 0 if record is None else (record.spamcount if is_spam else record.hamcount)
-            if count < 1:
-                raise TrainingError(
-                    f"unlearn would drive count of token {token!r} negative; "
-                    "message was not learned with this label"
-                )
-        log = None if self._snapshot is None else self._snapshot.log
+        self._check_removal(ids, is_spam, 1)
         if is_spam:
             self._nspam -= 1
-            for token in unique:
-                record = wordinfo[token]
-                if log is not None and token not in log:
-                    log[token] = record.copy()
-                record.spamcount -= 1
-                if record.is_empty():
-                    del wordinfo[token]
         else:
             self._nham -= 1
-            for token in unique:
-                record = wordinfo[token]
-                if log is not None and token not in log:
-                    log[token] = record.copy()
-                record.hamcount -= 1
-                if record.is_empty():
-                    del wordinfo[token]
-        self._prob_cache.clear()
+        self._apply_removal(ids, is_spam, 1)
 
     def learn_many(self, token_sets: Iterable[Iterable[str]], is_spam: bool) -> int:
         """Learn a batch of messages with a single label; returns count."""
@@ -236,67 +438,97 @@ class Classifier:
         The resulting state is exactly what ``count`` calls to
         :meth:`learn` would produce.
         """
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        intern = self._table.intern
+        self.learn_ids_repeated([intern(token) for token in unique], is_spam, count)
+
+    def learn_ids_repeated(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
+        """:meth:`learn_repeated` for a pre-encoded message."""
         if count < 0:
             raise TrainingError(f"learn_repeated needs count >= 0, got {count}")
         if count == 0:
             return
-        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
         if is_spam:
             self._nspam += count
         else:
             self._nham += count
-        wordinfo = self._wordinfo
-        log = None if self._snapshot is None else self._snapshot.log
-        for token in unique:
-            record = wordinfo.get(token)
-            if log is not None and token not in log:
-                log[token] = None if record is None else record.copy()
-            if record is None:
-                record = wordinfo[token] = WordInfo()
-            if is_spam:
-                record.spamcount += count
-            else:
-                record.hamcount += count
-        self._prob_cache.clear()
+        self._apply_delta(ids, is_spam, count)
 
     def unlearn_repeated(self, tokens: Iterable[str], is_spam: bool, count: int) -> None:
         """Reverse :meth:`learn_repeated` with the same arguments.
 
         Validates before mutating, like :meth:`unlearn`.
         """
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        intern = self._table.intern
+        self.unlearn_ids_repeated([intern(token) for token in unique], is_spam, count)
+
+    def unlearn_ids_repeated(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
+        """:meth:`unlearn_repeated` for a pre-encoded message."""
         if count < 0:
             raise TrainingError(f"unlearn_repeated needs count >= 0, got {count}")
         if count == 0:
             return
-        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
         if is_spam and self._nspam < count:
             raise TrainingError(f"unlearn_repeated(spam, {count}) with only {self._nspam} trained")
         if not is_spam and self._nham < count:
             raise TrainingError(f"unlearn_repeated(ham, {count}) with only {self._nham} trained")
-        wordinfo = self._wordinfo
-        for token in unique:
-            record = wordinfo.get(token)
-            current = 0 if record is None else (record.spamcount if is_spam else record.hamcount)
-            if current < count:
-                raise TrainingError(
-                    f"unlearn_repeated would drive count of token {token!r} negative"
-                )
+        self._check_removal(ids, is_spam, count)
         if is_spam:
             self._nspam -= count
         else:
             self._nham -= count
+        self._apply_removal(ids, is_spam, count)
+
+    def _apply_delta(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
+        """Add ``count`` to one class column for every ID (no checks)."""
+        self._ensure_columns()
+        spam_col = self._spam
+        ham_col = self._ham
+        col = spam_col if is_spam else ham_col
+        other = ham_col if is_spam else spam_col
         log = None if self._snapshot is None else self._snapshot.log
-        for token in unique:
-            record = wordinfo[token]
-            if log is not None and token not in log:
-                log[token] = record.copy()
-            if is_spam:
-                record.spamcount -= count
-            else:
-                record.hamcount -= count
-            if record.is_empty():
-                del wordinfo[token]
-        self._prob_cache.clear()
+        active = self._active
+        for tid in ids:
+            current = col[tid]
+            if log is not None and tid not in log:
+                log[tid] = (spam_col[tid], ham_col[tid])
+            if current == 0 and other[tid] == 0:
+                active += 1
+            col[tid] = current + count
+        self._active = active
+        self._note_mutation(ids)
+
+    def _check_removal(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
+        """Raise if any ID's class count would go negative (pre-mutation)."""
+        col = self._spam if is_spam else self._ham
+        limit = len(col)
+        for tid in ids:
+            current = col[tid] if tid < limit else 0
+            if current < count:
+                token = self._table.token(tid)
+                raise TrainingError(
+                    f"unlearn would drive count of token {token!r} negative; "
+                    "message was not learned with this label"
+                )
+
+    def _apply_removal(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
+        """Subtract ``count`` from one class column (caller validated)."""
+        spam_col = self._spam
+        ham_col = self._ham
+        col = spam_col if is_spam else ham_col
+        other = ham_col if is_spam else spam_col
+        log = None if self._snapshot is None else self._snapshot.log
+        active = self._active
+        for tid in ids:
+            if log is not None and tid not in log:
+                log[tid] = (spam_col[tid], ham_col[tid])
+            remaining = col[tid] - count
+            col[tid] = remaining
+            if remaining == 0 and other[tid] == 0:
+                active -= 1
+        self._active = active
+        self._note_mutation(ids)
 
     # ------------------------------------------------------------------
     # Snapshot / restore
@@ -311,7 +543,7 @@ class Classifier:
         """Arm a copy-on-write checkpoint of the current training state.
 
         O(1) now; subsequent learn/unlearn calls pay one extra dict
-        probe per *newly touched* token to save its original counts.
+        probe per *newly touched* token ID to save its original counts.
         Only one snapshot may be active at a time — layered checkpoints
         would need a log per level, and no caller has wanted one.
         """
@@ -332,17 +564,22 @@ class Classifier:
             raise TrainingError("snapshot belongs to a different classifier")
         if not snap.active or self._snapshot is not snap:
             raise TrainingError("snapshot is not active on this classifier")
-        wordinfo = self._wordinfo
-        for token, original in snap.log.items():
-            if original is None:
-                wordinfo.pop(token, None)
-            else:
-                wordinfo[token] = original
+        spam_col = self._spam
+        ham_col = self._ham
+        active = self._active
+        for tid, (spamcount, hamcount) in snap.log.items():
+            if spam_col[tid] or ham_col[tid]:
+                active -= 1
+            if spamcount or hamcount:
+                active += 1
+            spam_col[tid] = spamcount
+            ham_col[tid] = hamcount
+        self._active = active
         self._nspam = snap.nspam
         self._nham = snap.nham
         snap.active = False
         self._snapshot = None
-        self._prob_cache.clear()
+        self._note_mutation(snap.log.keys())
 
     # ------------------------------------------------------------------
     # Scoring
@@ -350,42 +587,107 @@ class Classifier:
 
     def raw_spam_score(self, token: str) -> float:
         """PS(w) of Equation 1; the prior ``x`` for unseen tokens."""
-        record = self._wordinfo.get(token)
-        if record is None or record.total == 0:
+        tid = self._table.id_of(token)
+        if tid is None or tid >= len(self._spam):
             return self.options.unknown_word_prob
-        return self._raw_score(record)
-
-    def spam_prob(self, token: str) -> float:
-        """f(w) of Equation 2: smoothed token spam score in [0, 1]."""
-        cached = self._prob_cache.get(token)
-        if cached is not None:
-            return cached
-        record = self._wordinfo.get(token)
-        opts = self.options
-        if record is None or record.total == 0:
-            prob = opts.unknown_word_prob
-        else:
-            n = record.total
-            ps = self._raw_score(record)
-            s = opts.unknown_word_strength
-            prob = (s * opts.unknown_word_prob + n * ps) / (s + n)
-        self._prob_cache[token] = prob
-        return prob
-
-    def _raw_score(self, record: WordInfo) -> float:
-        # Degenerate corpora: with no ham trained, any occurrence is pure
-        # spam evidence (and vice versa). SpamBayes normalizes by class
-        # sizes, which this limit preserves.
-        nham = self._nham
+        spamcount = self._spam[tid]
+        hamcount = self._ham[tid]
+        if spamcount + hamcount == 0:
+            return self.options.unknown_word_prob
         nspam = self._nspam
+        nham = self._nham
         if nspam == 0 and nham == 0:
             return self.options.unknown_word_prob
-        spam_ratio = record.spamcount / nspam if nspam else 0.0
-        ham_ratio = record.hamcount / nham if nham else 0.0
+        spam_ratio = spamcount / nspam if nspam else 0.0
+        ham_ratio = hamcount / nham if nham else 0.0
         denominator = spam_ratio + ham_ratio
         if denominator == 0.0:
             return self.options.unknown_word_prob
         return spam_ratio / denominator
+
+    def _prob_for_id(self, token_id: int) -> float:
+        """f(w) of Equation 2 for one interned token ID.
+
+        The single overridable probability hook: subclasses with a
+        different per-token formula (Graham mode) override this, and
+        every scoring path — single-token, per-message, and the bulk
+        kernel — routes through it (the kernel inlines the base
+        arithmetic only when the hook is not overridden).  Columns must
+        already cover ``token_id`` (callers go through
+        :meth:`_ensure_columns`).
+        """
+        opts = self.options
+        spamcount = self._spam[token_id]
+        hamcount = self._ham[token_id]
+        n = spamcount + hamcount
+        if n == 0:
+            return opts.unknown_word_prob
+        nspam = self._nspam
+        nham = self._nham
+        unknown = opts.unknown_word_prob
+        if nspam == 0 and nham == 0:
+            ps = unknown
+        else:
+            spam_ratio = spamcount / nspam if nspam else 0.0
+            ham_ratio = hamcount / nham if nham else 0.0
+            denominator = spam_ratio + ham_ratio
+            ps = unknown if denominator == 0.0 else spam_ratio / denominator
+        s = opts.unknown_word_strength
+        return (s * unknown + n * ps) / (s + n)
+
+    def spam_prob(self, token: str) -> float:
+        """f(w) of Equation 2: smoothed token spam score in [0, 1].
+
+        Scoring never interns: a token the table has not seen scores
+        the prior without growing the (possibly shared) table, columns
+        or memos — only training extends the vocabulary.
+        """
+        tid = self._table.id_of(token)
+        if tid is None:
+            return self.options.unknown_word_prob
+        self._ensure_columns()
+        memo = self._memo_list()
+        entry = memo[tid]
+        if type(entry) is tuple:
+            return entry[2]
+        prob = self._prob_for_id(tid)
+        if entry is _MISSING:
+            strength = abs(prob - 0.5)
+            if strength >= self.options.minimum_prob_strength:
+                memo[tid] = (-strength, token, prob)
+            else:
+                memo[tid] = None
+        return prob
+
+    def _entries(self, ids: Sequence[int]) -> list:
+        """Memo entries for a batch of IDs (columns must be ensured)."""
+        memo = self._memo_list()
+        minimum = self.options.minimum_prob_strength
+        table = self._table
+        out = []
+        for tid in ids:
+            entry = memo[tid]
+            if entry is _MISSING:
+                prob = self._prob_for_id(tid)
+                strength = abs(prob - 0.5)
+                if strength >= minimum:
+                    entry = (-strength, table.token(tid), prob)
+                else:
+                    entry = None
+                memo[tid] = entry
+            out.append(entry)
+        return out
+
+    def _unknown_entry(self) -> tuple | None:
+        """The memo entry an unseen token would get, or None if the
+        prior is not significant.  Built per token text at use sites
+        (the tie-break needs the text); unseen tokens are never
+        interned by scoring."""
+        unknown = self.options.unknown_word_prob
+        strength = abs(unknown - 0.5)
+        if strength >= self.options.minimum_prob_strength:
+            return (-strength, unknown)
+        return None
 
     def significant_tokens(self, tokens: Iterable[str]) -> list[TokenScore]:
         """δ(E): the strongest discriminators among ``tokens``.
@@ -395,87 +697,162 @@ class Classifier:
         first.  Ties are broken by token text so results are
         deterministic across runs and platforms.
         """
-        opts = self.options
-        minimum = opts.minimum_prob_strength
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        id_of = self._table.id_of
+        ids = []
         scored = []
-        for token in set(tokens):
-            prob = self.spam_prob(token)
-            strength = abs(prob - 0.5)
-            if strength >= minimum:
-                scored.append((strength, token, prob))
-        scored.sort(key=lambda item: (-item[0], item[1]))
-        return [TokenScore(token, prob) for _, token, prob in scored[: opts.max_discriminators]]
+        unknown = self._unknown_entry()
+        for token in unique:
+            tid = id_of(token)
+            if tid is None:
+                if unknown is not None:
+                    scored.append((unknown[0], token, unknown[1]))
+            else:
+                ids.append(tid)
+        self._ensure_columns()
+        scored.extend(entry for entry in self._entries(ids) if entry is not None)
+        scored.sort()
+        limit = self.options.max_discriminators
+        return [TokenScore(token, prob) for _, token, prob in scored[:limit]]
 
     def score(self, tokens: Iterable[str]) -> float:
         """I(E) of Equation 3 for a message given as its token stream."""
         return self._combine([ts.spam_prob for ts in self.significant_tokens(tokens)])
 
+    def score_ids(self, ids: Sequence[int]) -> float:
+        """I(E) for one pre-encoded message (see :meth:`learn_ids`)."""
+        return self.score_many_ids((ids,))[0]
+
     def score_many(self, token_sets: Iterable[Iterable[str]]) -> list[float]:
         """I(E) for a batch of messages in one pass.
 
         Returns exactly ``[self.score(ts) for ts in token_sets]`` — the
-        same sort, the same tie-breaks, the same floats — but shares a
-        significance memo across the batch, so a token that recurs in
-        many messages (fold evaluation: the whole corpus vocabulary
-        recurs) pays for its strength test once per call instead of
-        once per message.
+        same sort, the same tie-breaks, the same floats.  Known tokens
+        are resolved to IDs up front and run through the columnar
+        kernel; unseen tokens contribute the prior inline, without
+        being interned (scoring never grows the table).
+        """
+        id_of = self._table.id_of
+        encoded: list[tuple[list[int], list[str]]] = []
+        any_unknown = False
+        for tokens in token_sets:
+            unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+            ids: list[int] = []
+            extras: list[str] = []
+            for token in unique:
+                tid = id_of(token)
+                if tid is None:
+                    extras.append(token)
+                else:
+                    ids.append(tid)
+            any_unknown = any_unknown or bool(extras)
+            encoded.append((ids, extras))
+        if not any_unknown:
+            return self.score_many_ids([ids for ids, _ in encoded])
+        self._ensure_columns()
+        unknown = self._unknown_entry()
+        max_discriminators = self.options.max_discriminators
+        combine = self._combine
+        results: list[float] = []
+        for ids, extras in encoded:
+            scored = [entry for entry in self._entries(ids) if entry is not None]
+            if extras and unknown is not None:
+                neg_strength, prob = unknown
+                scored.extend((neg_strength, token, prob) for token in extras)
+            scored.sort()
+            results.append(combine([entry[2] for entry in scored[:max_discriminators]]))
+        return results
+
+    def score_many_ids(self, id_arrays: Iterable[Sequence[int]]) -> list[float]:
+        """The columnar bulk-scoring kernel over pre-encoded messages.
+
+        Each element of ``id_arrays`` is a duplicate-free ID sequence
+        from this classifier's :attr:`table`.  Three memo layers, all
+        invalidated as a whole by any training call:
+
+        * the flat significance memo — a token recurring across the
+          batch (fold evaluation: the whole corpus vocabulary recurs)
+          pays for its strength test and sort entry once, and repeats
+          are served by a C-level ``map`` over the ID array with zero
+          per-token bytecode;
+        * a message-level score memo keyed by the encoded array object,
+          so re-evaluating the same messages against unchanged state
+          (one fold under several threshold fits, RONI baselines)
+          costs a dict probe per message.
+
+        Scores are bit-identical to per-message :meth:`score`.
         """
         opts = self.options
         minimum = opts.minimum_prob_strength
         max_discriminators = opts.max_discriminators
         combine = self._combine
-        # Local bindings of the spam_prob inputs: the f(w) arithmetic is
-        # inlined below (identical expressions, identical floats) to
-        # drop ~1M attribute/function-call dispatches per fold sweep.
-        # Subclasses that override spam_prob (Graham mode) keep their
-        # own formula via the slow path.
-        inline_prob = type(self).spam_prob is Classifier.spam_prob
-        wordinfo = self._wordinfo
-        prob_cache = self._prob_cache
+        self._ensure_columns()
+        memo = self._memo_list()
+        memo_get = memo.__getitem__
+        score_memo = self._score_memo
+        if score_memo is None:
+            score_memo = self._score_memo = {}
+        score_memo_get = score_memo.get
+        # The f(w) arithmetic is inlined below (identical expressions,
+        # identical floats, same as _prob_for_id) to drop ~1M
+        # function-call dispatches per fold sweep.  Subclasses that
+        # override _prob_for_id (Graham mode) keep their own formula
+        # via the hook path.
+        inline_prob = type(self)._prob_for_id is Classifier._prob_for_id
+        spam_col = self._spam
+        ham_col = self._ham
+        table = self._table
         unknown = opts.unknown_word_prob
         strength_s = opts.unknown_word_strength
         nspam = self._nspam
         nham = self._nham
-        # token -> sort-ready (-strength, token, prob) triple when
-        # significant, None when not.  Sorting the triples *without* a
-        # key function gives exactly the significant_tokens() order:
-        # strength descending, token text ascending (tokens are unique,
-        # so the prob element never participates in a comparison).
-        memo: dict[str, tuple[float, str, float] | None] = {}
-        missing = (0.0, "", 0.0)  # sentinel distinguishable from None
         results: list[float] = []
-        for tokens in token_sets:
-            unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
-            scored = []
-            for token in unique:
-                entry = memo.get(token, missing)
-                if entry is missing:
-                    if not inline_prob:
-                        prob = self.spam_prob(token)
-                    else:
-                        prob = prob_cache.get(token)
-                        if prob is None:
-                            record = wordinfo.get(token)
-                            if record is None or record.total == 0:
-                                prob = unknown
+        for ids in id_arrays:
+            cached = score_memo_get(id(ids))
+            if cached is not None and cached[0] is ids:
+                results.append(cached[1])
+                continue
+            entries = list(map(memo_get, ids))
+            if _MISSING in entries:
+                for index, tid in enumerate(ids):
+                    if entries[index] is not _MISSING:
+                        continue
+                    if inline_prob:
+                        spamcount = spam_col[tid]
+                        hamcount = ham_col[tid]
+                        n = spamcount + hamcount
+                        if n == 0:
+                            prob = unknown
+                        else:
+                            if nspam == 0 and nham == 0:
+                                ps = unknown
                             else:
-                                n = record.total
-                                if nspam == 0 and nham == 0:
-                                    ps = unknown
-                                else:
-                                    spam_ratio = record.spamcount / nspam if nspam else 0.0
-                                    ham_ratio = record.hamcount / nham if nham else 0.0
-                                    denominator = spam_ratio + ham_ratio
-                                    ps = unknown if denominator == 0.0 else spam_ratio / denominator
-                                prob = (strength_s * unknown + n * ps) / (strength_s + n)
-                            prob_cache[token] = prob
+                                spam_ratio = spamcount / nspam if nspam else 0.0
+                                ham_ratio = hamcount / nham if nham else 0.0
+                                denominator = spam_ratio + ham_ratio
+                                ps = unknown if denominator == 0.0 else spam_ratio / denominator
+                            prob = (strength_s * unknown + n * ps) / (strength_s + n)
+                    else:
+                        prob = self._prob_for_id(tid)
                     strength = abs(prob - 0.5)
-                    entry = (-strength, token, prob) if strength >= minimum else None
-                    memo[token] = entry
-                if entry is not None:
-                    scored.append(entry)
+                    if strength >= minimum:
+                        entry = (-strength, table.token(tid), prob)
+                    else:
+                        entry = None
+                    memo[tid] = entry
+                    entries[index] = entry
+            # Sorting the tuples *without* a key function gives exactly
+            # the significant_tokens() order: strength descending, token
+            # text ascending (tokens are unique, so the prob element
+            # never participates in a comparison).
+            scored = list(filter(None, entries))
             scored.sort()
-            results.append(combine([item[2] for item in scored[:max_discriminators]]))
+            score = combine([entry[2] for entry in scored[:max_discriminators]])
+            results.append(score)
+            if type(ids) is array:
+                # Only persistent encoded arrays are worth remembering:
+                # ad-hoc lists from the string path would pin dead keys.
+                score_memo[id(ids)] = (ids, score)
         return results
 
     def score_with_evidence(self, tokens: Iterable[str]) -> tuple[float, list[TokenScore]]:
@@ -485,26 +862,63 @@ class Classifier:
 
     @staticmethod
     def _combine(probs: Sequence[float]) -> float:
-        if not probs:
-            return 0.5
-        spam_evidence = fisher_combine(probs)                      # H(E)
-        ham_evidence = fisher_combine([1.0 - p for p in probs])    # S(E)
-        return (1.0 + spam_evidence - ham_evidence) / 2.0
+        # Fused, bit-exact form of fisher_combine(probs) vs
+        # fisher_combine([1-p]); see _fisher_message_score.
+        return _fisher_message_score(probs)
 
     # ------------------------------------------------------------------
-    # Copying
+    # Copying / pickling
     # ------------------------------------------------------------------
 
     def copy(self) -> "Classifier":
-        """Deep copy of the training state (options are shared, immutable)."""
-        clone = Classifier(self.options)
+        """Deep copy of the training state.
+
+        Options are shared (immutable) and so is the interning table
+        (append-only): the copy's columns are independent, its IDs are
+        the same.
+        """
+        clone = self.__class__(self.options, table=self._table)
         clone._nspam = self._nspam
         clone._nham = self._nham
-        clone._wordinfo = {token: record.copy() for token, record in self._wordinfo.items()}
+        clone._spam = array(TOKEN_ID_TYPECODE, self._spam)
+        clone._ham = array(TOKEN_ID_TYPECODE, self._ham)
+        clone._active = self._active
         return clone
+
+    def __getstate__(self) -> dict:
+        # Memos are cheap to rebuild and snapshots are owner-bound, so
+        # neither crosses a process boundary.  The table rides along:
+        # within one pickle (e.g. a sweep context holding both the
+        # model and encoded datasets) object identity is preserved, so
+        # shared tables stay shared on the other side.
+        if self._snapshot is not None:
+            raise TrainingError("cannot pickle a classifier while a snapshot is active")
+        return {
+            "options": self.options,
+            "table": self._table,
+            "spam": self._spam,
+            "ham": self._ham,
+            "nspam": self._nspam,
+            "nham": self._nham,
+            "active": self._active,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.options = state["options"]
+        self._table = state["table"]
+        self._spam = state["spam"]
+        self._ham = state["ham"]
+        self._nspam = state["nspam"]
+        self._nham = state["nham"]
+        self._active = state["active"]
+        self._memo = None
+        self._memo_tag = None
+        self._dirty = []
+        self._score_memo = None
+        self._snapshot = None
 
     def __repr__(self) -> str:
         return (
             f"Classifier(nspam={self._nspam}, nham={self._nham}, "
-            f"vocabulary={len(self._wordinfo)})"
+            f"vocabulary={self._active})"
         )

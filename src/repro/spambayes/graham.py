@@ -17,7 +17,11 @@ hard?  (It breaks both — the poisoned quantity is the per-token
 statistic both schemes consume.)
 
 :class:`GrahamClassifier` is a drop-in :class:`Classifier` subclass:
-same learn/unlearn, same persistence, different scoring.
+same learn/unlearn, same persistence, same interned-ID count columns,
+different scoring.  It overrides exactly two hooks — the per-ID token
+probability (:meth:`Classifier._prob_for_id`) and the combiner — so it
+inherits the columnar bulk kernel, the flat memo and the snapshot WAL
+unchanged.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from __future__ import annotations
 from repro.spambayes.chi2 import ln_product
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.options import ClassifierOptions
+from repro.spambayes.token_table import TokenTable
 
 __all__ = ["GRAHAM_OPTIONS", "GrahamClassifier"]
 
@@ -48,10 +53,14 @@ _CLAMP_HIGH = 0.99
 class GrahamClassifier(Classifier):
     """The 2002-vintage scoring rule over the same token statistics."""
 
-    def __init__(self, options: ClassifierOptions = GRAHAM_OPTIONS) -> None:
-        super().__init__(options)
+    def __init__(
+        self,
+        options: ClassifierOptions = GRAHAM_OPTIONS,
+        table: TokenTable | None = None,
+    ) -> None:
+        super().__init__(options, table=table)
 
-    def spam_prob(self, token: str) -> float:
+    def _prob_for_id(self, token_id: int) -> float:
         """Graham's token probability with double-counted ham.
 
         ``p = (b/nbad) / (b/nbad + 2g/ngood)`` clamped to
@@ -59,23 +68,19 @@ class GrahamClassifier(Classifier):
         overall (fewer than 1 here — Graham used 5 in production, but
         the paper-era SpamBayes port used 1) fall back to 0.4.
         """
-        cached = self._prob_cache.get(token)
-        if cached is not None:
-            return cached
-        record = self._wordinfo.get(token)
-        if record is None or record.total == 0 or (self._nspam == 0 and self._nham == 0):
-            prob = self.options.unknown_word_prob
-        else:
-            bad_ratio = record.spamcount / self._nspam if self._nspam else 0.0
-            good_ratio = (2.0 * record.hamcount) / self._nham if self._nham else 0.0
-            denominator = bad_ratio + good_ratio
-            if denominator == 0.0:
-                prob = self.options.unknown_word_prob
-            else:
-                prob = bad_ratio / denominator
-                prob = max(_CLAMP_LOW, min(_CLAMP_HIGH, prob))
-        self._prob_cache[token] = prob
-        return prob
+        spamcount = self._spam[token_id]
+        hamcount = self._ham[token_id]
+        nspam = self._nspam
+        nham = self._nham
+        if (spamcount == 0 and hamcount == 0) or (nspam == 0 and nham == 0):
+            return self.options.unknown_word_prob
+        bad_ratio = spamcount / nspam if nspam else 0.0
+        good_ratio = (2.0 * hamcount) / nham if nham else 0.0
+        denominator = bad_ratio + good_ratio
+        if denominator == 0.0:
+            return self.options.unknown_word_prob
+        prob = bad_ratio / denominator
+        return max(_CLAMP_LOW, min(_CLAMP_HIGH, prob))
 
     @staticmethod
     def _combine(probs) -> float:
@@ -96,10 +101,3 @@ class GrahamClassifier(Classifier):
         if difference < -700.0:
             return 1.0
         return 1.0 / (1.0 + math.exp(difference))
-
-    def copy(self) -> "GrahamClassifier":
-        clone = GrahamClassifier(self.options)
-        clone._nspam = self._nspam
-        clone._nham = self._nham
-        clone._wordinfo = {token: record.copy() for token, record in self._wordinfo.items()}
-        return clone

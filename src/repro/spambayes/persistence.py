@@ -22,14 +22,16 @@ from __future__ import annotations
 
 import gzip
 import json
+from array import array
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
+from repro.spambayes.token_table import TOKEN_ID_TYPECODE
+
 from repro.errors import PersistenceError
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.options import ClassifierOptions
-from repro.spambayes.wordinfo import WordInfo
 
 __all__ = ["classifier_to_dict", "classifier_from_dict", "save_classifier", "load_classifier"]
 
@@ -37,18 +39,23 @@ _FORMAT = "repro-spambayes-v1"
 
 
 def classifier_to_dict(classifier: Classifier) -> dict[str, Any]:
-    """Serialize a classifier (state + options) to plain data."""
+    """Serialize a classifier (state + options) to plain data.
+
+    The dump is storage-agnostic: the interned token-ID core writes the
+    same ``token -> [spamcount, hamcount]`` mapping (tokens sorted) the
+    dict-keyed core always produced, so dumps are interchangeable
+    between the two and stable across table layouts.
+    """
+    words: dict[str, list[int]] = {}
+    for token in sorted(classifier.iter_vocabulary()):
+        record = classifier.word_info(token)
+        words[token] = [record.spamcount, record.hamcount]
     return {
         "format": _FORMAT,
         "nspam": classifier.nspam,
         "nham": classifier.nham,
         "options": asdict(classifier.options),
-        "words": {
-            token: [record.spamcount, record.hamcount]
-            for token, record in sorted(
-                (t, classifier.word_info(t)) for t in classifier.iter_vocabulary()
-            )
-        },
+        "words": words,
     }
 
 
@@ -61,16 +68,31 @@ def classifier_from_dict(data: dict[str, Any]) -> Classifier:
     try:
         options = ClassifierOptions(**data["options"])
         classifier = Classifier(options)
-        classifier._nspam = int(data["nspam"])
-        classifier._nham = int(data["nham"])
+        nspam = int(data["nspam"])
+        nham = int(data["nham"])
         words = data["words"]
-        classifier._wordinfo = {
-            token: WordInfo(int(counts[0]), int(counts[1]))
-            for token, counts in words.items()
-        }
-    except (KeyError, TypeError, ValueError) as exc:
+        # Interning in dump order assigns IDs 0..n-1, so the columns
+        # are simply the counts in that same order.
+        table = classifier.table
+        spam_col = array(TOKEN_ID_TYPECODE)
+        ham_col = array(TOKEN_ID_TYPECODE)
+        active = 0
+        for token, counts in words.items():
+            table.intern(token)
+            spamcount = int(counts[0])
+            hamcount = int(counts[1])
+            spam_col.append(spamcount)
+            ham_col.append(hamcount)
+            if spamcount or hamcount:
+                active += 1
+        classifier._spam = spam_col
+        classifier._ham = ham_col
+        classifier._active = active
+        classifier._nspam = nspam
+        classifier._nham = nham
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
         raise PersistenceError(f"corrupt classifier dump: {exc}") from exc
-    if classifier._nspam < 0 or classifier._nham < 0:
+    if nspam < 0 or nham < 0:
         raise PersistenceError("corrupt classifier dump: negative message counts")
     return classifier
 

@@ -1,0 +1,129 @@
+"""String <-> integer token interning.
+
+Every hot loop in this reproduction — bulk fold scoring, attack-batch
+training, the RONI gate — used to probe a ``dict[str, WordInfo]`` once
+per token occurrence.  A :class:`TokenTable` removes the strings from
+those loops: each distinct token is assigned a small dense integer ID
+the first time it is seen, and everything downstream (count columns,
+probability memos, encoded messages) is indexed by that ID.
+
+Properties the rest of the system leans on:
+
+* **append-only** — an ID, once assigned, never changes and never goes
+  away, so encoded messages stay valid as the table grows (new attack
+  vocabulary, new folds, new candidates);
+* **shared per corpus** — one table serves a dataset and every
+  classifier derived from it, so a message is encoded once and its ID
+  array is reused across folds, attack batches, repetitions and worker
+  processes;
+* **dense** — IDs are ``0..len(table)-1``, which is what lets the
+  classifier store counts in flat ``array`` columns and memoize
+  probabilities in flat lists instead of hash tables.
+
+Pickling ships only the token list (the dict side is rebuilt), so a
+table crosses process boundaries at the cost of its vocabulary, not
+twice it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["TokenTable"]
+
+TOKEN_ID_TYPECODE = "l"
+"""Array typecode used for token-ID storage throughout the project."""
+
+
+class TokenTable:
+    """Append-only bidirectional ``str <-> int`` token registry."""
+
+    __slots__ = ("_ids", "_tokens")
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._ids: dict[str, int] = {}
+        self._tokens: list[str] = []
+        for token in tokens:
+            self.intern(token)
+
+    # ------------------------------------------------------------------
+    # Core interning
+    # ------------------------------------------------------------------
+
+    def intern(self, token: str) -> int:
+        """Return ``token``'s ID, assigning the next dense ID if new."""
+        tid = self._ids.get(token)
+        if tid is None:
+            tid = len(self._tokens)
+            self._ids[token] = tid
+            self._tokens.append(token)
+        return tid
+
+    def id_of(self, token: str) -> int | None:
+        """The ID of ``token`` if already interned, else ``None``."""
+        return self._ids.get(token)
+
+    def token(self, token_id: int) -> str:
+        """The token text for an assigned ID (raises IndexError if unassigned)."""
+        return self._tokens[token_id]
+
+    # ------------------------------------------------------------------
+    # Bulk encoding
+    # ------------------------------------------------------------------
+
+    def encode_unique(self, tokens: Iterable[str]) -> array:
+        """Encode a token stream as a sorted array of unique token IDs.
+
+        Duplicates are collapsed (the classifier's presence/absence
+        model) and new tokens are interned.  The result is sorted by ID
+        so identical token sets encode to identical arrays — grouping
+        and pickling stay deterministic.
+        """
+        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
+        intern = self._ids.get
+        new: list[str] = []
+        ids: list[int] = []
+        for token in unique:
+            tid = intern(token)
+            if tid is None:
+                new.append(token)
+            else:
+                ids.append(tid)
+        for token in new:
+            ids.append(self.intern(token))
+        ids.sort()
+        return array(TOKEN_ID_TYPECODE, ids)
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Token texts for a sequence of IDs (inverse of encoding)."""
+        tokens = self._tokens
+        return [tokens[tid] for tid in ids]
+
+    # ------------------------------------------------------------------
+    # Container behaviour
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate tokens in ID order (ID ``i`` is the ``i``-th token)."""
+        return iter(self._tokens)
+
+    # ------------------------------------------------------------------
+    # Pickling: ship the list, rebuild the dict
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> list[str]:
+        return self._tokens
+
+    def __setstate__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._ids = {token: tid for tid, token in enumerate(tokens)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TokenTable(len={len(self._tokens)})"

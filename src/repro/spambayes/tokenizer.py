@@ -76,6 +76,9 @@ class Tokenizer:
 
     def __init__(self, options: TokenizerOptions = DEFAULT_TOKENIZER_OPTIONS) -> None:
         self.options = options
+        # Options are frozen, so the header lookup set is hoisted here
+        # instead of being rebuilt for every email.
+        self._tokenized_headers = frozenset(options.tokenized_headers)
 
     # ------------------------------------------------------------------
     # Public API
@@ -97,7 +100,7 @@ class Tokenizer:
 
     def tokenize_headers(self, email: Email) -> Iterator[str]:
         """Yield prefixed tokens for the headers of ``email``."""
-        wanted = set(self.options.tokenized_headers)
+        wanted = self._tokenized_headers
         for name, value in email.iter_headers():
             lowered = name.lower()
             if lowered in wanted:

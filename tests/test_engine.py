@@ -51,7 +51,12 @@ def _classifier_state(classifier: Classifier):
     return (
         classifier.nspam,
         classifier.nham,
-        {t: (w.spamcount, w.hamcount) for t, w in classifier._wordinfo.items()},
+        {
+            token: (record.spamcount, record.hamcount)
+            for token, record in (
+                (t, classifier.word_info(t)) for t in classifier.iter_vocabulary()
+            )
+        },
     )
 
 

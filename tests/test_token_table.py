@@ -1,0 +1,402 @@
+"""Differential suite: the interned-ID classifier core vs the retained
+dict-keyed reference core.
+
+The tentpole claim of the TokenTable refactor is *bit-exactness*: the
+columnar core (:class:`repro.spambayes.classifier.Classifier`) must
+produce float-for-float identical scores, snapshots and persistence
+round-trips to the PR-1 implementation
+(:class:`repro.spambayes.reference.ReferenceClassifier`) on any input.
+These tests run both cores side by side on randomized corpora through
+every mutation pattern the experiment harness uses — incremental
+learn/unlearn, grouped repetition, RONI-style learn/score/unlearn
+cycling, snapshot/restore fold derivation — and compare with ``==``,
+never ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from array import array
+
+import pytest
+
+from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.corpus.trec import TrecStyleCorpus
+from repro.corpus.vocabulary import TINY_PROFILE
+from repro.defenses.roni import RoniConfig, RoniDefense
+from repro.engine.sweep import SweepSpec, run_attack_sweeps, sequential_reference_sweep
+from repro.errors import TrainingError
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.graham import GrahamClassifier
+from repro.spambayes.message import Email
+from repro.spambayes.options import ClassifierOptions
+from repro.spambayes.persistence import classifier_from_dict, classifier_to_dict
+from repro.spambayes.reference import ReferenceClassifier
+from repro.spambayes.token_table import TokenTable
+
+
+# ----------------------------------------------------------------------
+# TokenTable unit behaviour
+# ----------------------------------------------------------------------
+
+
+class TestTokenTable:
+    def test_intern_assigns_dense_stable_ids(self):
+        table = TokenTable()
+        first = table.intern("alpha")
+        second = table.intern("beta")
+        assert (first, second) == (0, 1)
+        assert table.intern("alpha") == first  # stable on re-intern
+        assert len(table) == 2
+        assert table.token(first) == "alpha"
+        assert table.id_of("beta") == second
+        assert table.id_of("gamma") is None
+        assert "alpha" in table and "gamma" not in table
+
+    def test_iteration_follows_id_order(self):
+        table = TokenTable(["c", "a", "b", "a"])
+        assert list(table) == ["c", "a", "b"]
+
+    def test_encode_unique_sorted_and_deduplicated(self):
+        table = TokenTable()
+        ids = table.encode_unique(["wire", "cash", "wire", "now", "cash"])
+        assert isinstance(ids, array)
+        assert list(ids) == sorted(set(ids))
+        assert len(ids) == 3
+        assert sorted(table.decode(ids)) == ["cash", "now", "wire"]
+
+    def test_encode_is_append_only(self):
+        table = TokenTable()
+        before = table.encode_unique({"one", "two"})
+        table.encode_unique({"three", "two"})
+        # Earlier encodings stay valid: IDs never shift.
+        assert table.decode(before) == [table.token(tid) for tid in before]
+        assert len(table) == 3
+
+    def test_pickle_preserves_ids(self):
+        table = TokenTable(["x", "y", "z"])
+        clone = pickle.loads(pickle.dumps(table))
+        assert list(clone) == list(table)
+        assert clone.id_of("y") == table.id_of("y")
+        assert clone.intern("w") == 3  # interning continues densely
+
+
+class TestMessageEncoding:
+    def test_token_ids_cached_per_table(self):
+        message = LabeledMessage(Email(body="cheap cash wire now", msgid="m1"), True)
+        table = TokenTable()
+        first = message.token_ids(table)
+        assert message.token_ids(table) is first  # cached
+        other = TokenTable()
+        re_encoded = message.token_ids(other)
+        assert re_encoded is not first  # different table -> re-encode
+        assert message.token_ids(other) is re_encoded
+
+    def test_invalidate_tokens_clears_encoding(self):
+        message = LabeledMessage(Email(body="cheap cash", msgid="m2"), True)
+        table = TokenTable()
+        first = message.token_ids(table)
+        message.invalidate_tokens()
+        assert message.token_ids(table) is not first
+
+    def test_dataset_encode_populates_all(self):
+        corpus = TrecStyleCorpus.generate(n_ham=20, n_spam=20, profile=TINY_PROFILE, seed=5)
+        table = corpus.dataset.encode()
+        for message in corpus.dataset:
+            ids = message.token_ids(table)
+            assert list(ids) == sorted(set(ids))
+            assert set(table.decode(ids)) == set(message.tokens())
+
+
+# ----------------------------------------------------------------------
+# Differential harness
+# ----------------------------------------------------------------------
+
+
+def _random_messages(rng, vocab, count, novel_prefix=""):
+    messages = []
+    for index in range(count):
+        tokens = set(rng.sample(vocab, rng.randint(3, 40)))
+        if novel_prefix:
+            tokens.add(f"{novel_prefix}{index}")
+        messages.append((frozenset(tokens), rng.random() < 0.5))
+    return messages
+
+
+def _paired(options=None):
+    if options is None:
+        return Classifier(), ReferenceClassifier()
+    return Classifier(options), ReferenceClassifier(options)
+
+
+def _assert_same_state(id_core: Classifier, reference: ReferenceClassifier):
+    assert id_core.nspam == reference.nspam
+    assert id_core.nham == reference.nham
+    assert id_core.vocabulary_size == reference.vocabulary_size
+    assert sorted(id_core.iter_vocabulary()) == sorted(reference.iter_vocabulary())
+    for token in reference.iter_vocabulary():
+        record = id_core.word_info(token)
+        expected = reference.word_info(token)
+        assert (record.spamcount, record.hamcount) == (
+            expected.spamcount,
+            expected.hamcount,
+        )
+
+
+OPTION_VARIANTS = [
+    ClassifierOptions(),
+    ClassifierOptions(unknown_word_strength=0.0),
+    ClassifierOptions(minimum_prob_strength=0.0, max_discriminators=15),
+    ClassifierOptions(unknown_word_prob=0.4, max_discriminators=50),
+]
+
+
+class TestDifferentialScoring:
+    @pytest.mark.parametrize("options", OPTION_VARIANTS)
+    def test_scores_bit_identical_after_training(self, options):
+        rng = random.Random(7)
+        vocab = [f"tok{i}" for i in range(400)]
+        id_core, reference = _paired(options)
+        for tokens, is_spam in _random_messages(rng, vocab, 250):
+            id_core.learn(tokens, is_spam)
+            reference.learn(tokens, is_spam)
+        queries = [frozenset(rng.sample(vocab, rng.randint(3, 60))) for _ in range(150)]
+        assert id_core.score_many(queries) == reference.score_many(queries)
+        assert [id_core.score(q) for q in queries[:25]] == [
+            reference.score(q) for q in queries[:25]
+        ]
+        encoded = [id_core.encode_tokens(q) for q in queries]
+        assert id_core.score_many_ids(encoded) == reference.score_many(queries)
+        # Second encoded pass exercises the message-score memo.
+        assert id_core.score_many_ids(encoded) == reference.score_many(queries)
+        assert all(id_core.spam_prob(t) == reference.spam_prob(t) for t in vocab)
+        _assert_same_state(id_core, reference)
+
+    def test_roni_style_learn_score_unlearn_cycling(self):
+        """The targeted-eviction path: globals return to the memo tag."""
+        rng = random.Random(31)
+        vocab = [f"w{i}" for i in range(350)]
+        id_core, reference = _paired()
+        for tokens, is_spam in _random_messages(rng, vocab, 150):
+            id_core.learn(tokens, is_spam)
+            reference.learn(tokens, is_spam)
+        queries = [frozenset(rng.sample(vocab, rng.randint(5, 50))) for _ in range(40)]
+        encoded = [id_core.encode_tokens(q) for q in queries]
+        for k in range(40):
+            candidate = frozenset(
+                rng.sample(vocab, rng.randint(5, 60)) + [f"novel{k}"]
+            )
+            label = rng.random() < 0.7
+            id_core.learn(candidate, label)
+            reference.learn(candidate, label)
+            assert id_core.score_many_ids(encoded) == reference.score_many(queries)
+            id_core.unlearn(candidate, label)
+            reference.unlearn(candidate, label)
+            assert id_core.score_many_ids(encoded) == reference.score_many(queries)
+        _assert_same_state(id_core, reference)
+
+    def test_snapshot_restore_round_trips_bit_exact(self):
+        rng = random.Random(13)
+        vocab = [f"v{i}" for i in range(300)]
+        id_core, reference = _paired()
+        for tokens, is_spam in _random_messages(rng, vocab, 120):
+            id_core.learn(tokens, is_spam)
+            reference.learn(tokens, is_spam)
+        queries = [frozenset(rng.sample(vocab, 30)) for _ in range(30)]
+        encoded = [id_core.encode_tokens(q) for q in queries]
+        baseline = reference.score_many(queries)
+        for round_index in range(12):
+            id_snap = id_core.snapshot()
+            ref_snap = reference.snapshot()
+            batch = frozenset(rng.sample(vocab, 50)) | {f"atk{round_index}"}
+            id_core.learn_repeated(batch, True, 7)
+            reference.learn_repeated(batch, True, 7)
+            stripe = _random_messages(rng, vocab, 5)
+            for tokens, is_spam in stripe:
+                id_core.learn(tokens, is_spam)
+                reference.learn(tokens, is_spam)
+            assert id_core.score_many_ids(encoded) == reference.score_many(queries)
+            id_core.restore(id_snap)
+            reference.restore(ref_snap)
+            assert id_core.score_many_ids(encoded) == baseline
+            assert reference.score_many(queries) == baseline
+        _assert_same_state(id_core, reference)
+
+    def test_empty_token_set_training_still_invalidates_memos(self):
+        """Regression: a mutation with no tokens still moves (nspam,
+        nham), which every memoized probability depends on."""
+        id_core, reference = _paired()
+        id_core.learn(["a", "b"], True)
+        reference.learn(["a", "b"], True)
+        id_core.learn(["a"], False)
+        reference.learn(["a"], False)
+        assert id_core.score(["a", "b"]) == reference.score(["a", "b"])
+        id_core.learn([], True)  # empty message: counts move, no tokens
+        reference.learn([], True)
+        assert id_core.score(["a", "b"]) == reference.score(["a", "b"])
+        ids = id_core.encode_tokens(["a", "b"])
+        assert id_core.score_ids(ids) == reference.score(["a", "b"])
+        id_core.unlearn([], True)
+        reference.unlearn([], True)
+        assert id_core.score_ids(ids) == reference.score(["a", "b"])
+
+    def test_scoring_never_interns_unseen_tokens(self):
+        """Scoring is read-only on the vocabulary: unseen query tokens
+        score the prior without growing the shared table."""
+        id_core, reference = _paired()
+        id_core.learn({"cash", "wire"}, True)
+        reference.learn({"cash", "wire"}, True)
+        id_core.learn({"meeting"}, False)
+        reference.learn({"meeting"}, False)
+        table_size = len(id_core.table)
+        queries = [
+            {"cash", "never-seen-1"},
+            {"never-seen-2", "never-seen-3", "meeting"},
+            {"never-seen-1"},
+        ]
+        assert id_core.score_many(queries) == reference.score_many(queries)
+        assert [id_core.score(q) for q in queries] == [
+            reference.score(q) for q in queries
+        ]
+        assert id_core.spam_prob("never-seen-4") == reference.spam_prob("never-seen-4")
+        evidence = id_core.significant_tokens({"cash", "never-seen-5"})
+        expected = reference.significant_tokens({"cash", "never-seen-5"})
+        assert [(ts.token, ts.spam_prob) for ts in evidence] == expected
+        assert len(id_core.table) == table_size  # nothing interned
+
+    def test_repeated_and_unlearn_validation_parity(self):
+        id_core, reference = _paired()
+        id_core.learn_repeated({"a", "b"}, True, 5)
+        reference.learn_repeated({"a", "b"}, True, 5)
+        with pytest.raises(TrainingError):
+            id_core.unlearn_repeated({"a"}, True, 6)
+        with pytest.raises(TrainingError):
+            id_core.unlearn({"zzz-never-seen"}, True)
+        # Failed unlearns leave the state untouched, like the reference.
+        _assert_same_state(id_core, reference)
+
+    def test_graham_subclass_uses_same_columns(self):
+        rng = random.Random(3)
+        vocab = [f"g{i}" for i in range(150)]
+        graham = GrahamClassifier()
+        messages = _random_messages(rng, vocab, 120)
+        for tokens, is_spam in messages:
+            graham.learn(tokens, is_spam)
+        queries = [frozenset(rng.sample(vocab, 20)) for _ in range(40)]
+        assert graham.score_many(queries) == [graham.score(q) for q in queries]
+        encoded = [graham.encode_tokens(q) for q in queries]
+        assert graham.score_many_ids(encoded) == [graham.score(q) for q in queries]
+
+
+class TestDifferentialPersistence:
+    def test_dump_identical_between_cores_and_round_trips(self, tmp_path):
+        rng = random.Random(17)
+        vocab = [f"p{i}" for i in range(200)]
+        id_core, reference = _paired()
+        for tokens, is_spam in _random_messages(rng, vocab, 100):
+            id_core.learn(tokens, is_spam)
+            reference.learn(tokens, is_spam)
+        dump = classifier_to_dict(id_core)
+        assert dump["nspam"] == reference.nspam
+        assert dump["nham"] == reference.nham
+        assert dump["words"] == {
+            token: [
+                reference.word_info(token).spamcount,
+                reference.word_info(token).hamcount,
+            ]
+            for token in sorted(reference.iter_vocabulary())
+        }
+        restored = classifier_from_dict(dump)
+        queries = [frozenset(rng.sample(vocab, 25)) for _ in range(40)]
+        assert restored.score_many(queries) == reference.score_many(queries)
+        _assert_same_state(restored, reference)
+
+    def test_pickle_round_trip_preserves_scores(self):
+        rng = random.Random(23)
+        vocab = [f"q{i}" for i in range(150)]
+        id_core, reference = _paired()
+        for tokens, is_spam in _random_messages(rng, vocab, 80):
+            id_core.learn(tokens, is_spam)
+            reference.learn(tokens, is_spam)
+        clone = pickle.loads(pickle.dumps(id_core))
+        queries = [frozenset(rng.sample(vocab, 25)) for _ in range(30)]
+        assert clone.score_many(queries) == reference.score_many(queries)
+        # Shared-table identity survives one pickle graph.
+        context = {"model": id_core, "table": id_core.table}
+        thawed = pickle.loads(pickle.dumps(context))
+        assert thawed["model"].table is thawed["table"]
+
+
+# ----------------------------------------------------------------------
+# Harness-level equivalence (engine + RONI)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return TrecStyleCorpus.generate(n_ham=90, n_spam=90, profile=TINY_PROFILE, seed=29)
+
+
+class TestHarnessEquivalence:
+    def test_sweep_bit_identical_at_any_worker_count(self, small_corpus):
+        from repro.attacks.dictionary import OptimalDictionaryAttack
+
+        inbox = small_corpus.dataset.sample_inbox(120, 0.5, random.Random(4))
+        inbox.tokenize_all()
+        attack = OptimalDictionaryAttack.from_vocabulary(small_corpus.vocabulary)
+
+        def sweep(workers):
+            spec = SweepSpec(key="optimal", attack=attack, fractions=(0.0, 0.02, 0.05))
+            return run_attack_sweeps(
+                inbox, [(spec, random.Random(11))], folds=3, workers=workers
+            )[0].confusion_dicts()
+
+        sequential = sequential_reference_sweep(
+            inbox, attack, (0.0, 0.02, 0.05), 3, random.Random(11)
+        )
+        expected = [point.confusion.as_dict() for point in sequential]
+        assert sweep(1) == expected
+        assert sweep(2) == expected
+
+    def test_roni_measure_many_matches_per_message(self, small_corpus):
+        pool = small_corpus.dataset.sample_inbox(80, 0.5, random.Random(6))
+        pool.tokenize_all()
+        table = pool.encode()
+        defense = RoniDefense(
+            pool,
+            random.Random(8),
+            config=RoniConfig(train_size=10, validation_size=20, trials=3),
+            table=table,
+        )
+        candidates = small_corpus.dataset.spam[:8] + small_corpus.dataset.ham[:4]
+        batched = defense.measure_many(candidates)
+        singly = [defense.measure(message) for message in candidates]
+        assert batched == singly
+        # Gate decisions line up with the measurements.
+        accepted, rejected = defense.filter_messages(candidates)
+        threshold = defense.config.ham_as_ham_threshold
+        expected_rejected = [
+            m
+            for m, measurement in zip(candidates, batched)
+            if measurement.ham_as_ham_decrease >= threshold
+        ]
+        assert rejected == expected_rejected
+        assert len(accepted) + len(rejected) == len(candidates)
+
+    def test_shared_table_across_classifiers(self, small_corpus):
+        """Two classifiers on one table see each other's interning only."""
+        inbox = small_corpus.dataset.sample_inbox(60, 0.5, random.Random(9))
+        inbox.tokenize_all()
+        table = inbox.encode()
+        first = Classifier(table=table)
+        second = Classifier(table=table)
+        message = inbox[0]
+        first.learn_ids(message.token_ids(table), message.is_spam)
+        assert second.vocabulary_size == 0  # counts are private
+        assert second.table is first.table  # interning is shared
+        # Encoded IDs stay valid for both despite later growth.
+        second.learn({"entirely-new-token"}, True)
+        assert first.score_ids(message.token_ids(table)) == first.score(
+            message.tokens()
+        )
