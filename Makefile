@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench docs-check check
+.PHONY: test bench-smoke bench bench-core bench-scenario docs-check check
 
 # Tier-1 gate: the full test suite, fail-fast.
 test:
@@ -13,15 +13,23 @@ test:
 # Seconds-long proof that the parallel sweep engine reproduces the
 # sequential results (and a rough speedup reading), plus the
 # classifier-core micro-benchmarks (ID core vs retained dict core,
-# bit-identical outputs asserted; JSON record in benchmarks/results/).
+# bit-identical outputs asserted; JSON record in benchmarks/results/)
+# and the scenario-executor dispatch benchmark (executor output
+# asserted identical to the retained drivers).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_sweep.py --scale smoke --workers 2
 	$(PYTHON) benchmarks/bench_classifier_core.py --scale smoke
+	$(PYTHON) benchmarks/bench_scenario_overhead.py --scale smoke
 
 # The classifier-core micro-benchmarks at the default (1/10) scale;
 # writes benchmarks/results/BENCH_classifier_core.json.
 bench-core:
 	$(PYTHON) benchmarks/bench_classifier_core.py --scale small
+
+# Scenario-executor equivalence + dispatch overhead at the default
+# scale; appends to benchmarks/results/BENCH_scenario.json.
+bench-scenario:
+	$(PYTHON) benchmarks/bench_scenario_overhead.py --scale small
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Scenario-executor overhead benchmark.
+
+PR 3 collapsed the five experiment drivers into registered scenario
+definitions executed by the generic :func:`repro.scenarios.run_scenario`.
+This benchmark proves that indirection is free:
+
+* **equivalence** — for every paper scenario, the executor's output
+  record is asserted *identical* (``==`` on the full record dict) to
+  calling the retained protocol function directly with the same
+  config — i.e. the PR-2 driver bodies, which are exactly what the
+  protocol functions are;
+* **dispatch overhead** — wall-clock of the executor path vs the
+  direct protocol call per scenario, plus a microbenchmark of the pure
+  dispatch machinery (registry lookup + config build + outcome
+  wrapping around a no-op protocol), reported in microseconds per run.
+
+Run it directly (it is a script, not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_scenario_overhead.py
+    PYTHONPATH=src python benchmarks/bench_scenario_overhead.py --scale smoke
+
+Records **append** to ``benchmarks/results/BENCH_scenario.json``
+(``BENCH_scenario.smoke.json`` for the smoke scale): each run adds one
+entry, so the file accumulates the executor's overhead trajectory
+across revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.corpus.vocabulary import TINY_PROFILE, SMALL_PROFILE
+from repro.defenses.roni import RoniConfig
+from repro.scenarios import PROTOCOLS, ScenarioSpec, get_scenario, run_scenario
+
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _default_json(scale_name: str) -> Path:
+    if scale_name == "small":
+        return _RESULTS_DIR / "BENCH_scenario.json"
+    return _RESULTS_DIR / f"BENCH_scenario.{scale_name}.json"
+
+
+def _scenario_overrides(scale_name: str) -> dict[str, dict]:
+    """Per-scenario config overrides at each scale.
+
+    Covers all five paper scenarios — every PR-2 driver — so the
+    equivalence assertion spans the whole registry surface the drivers
+    route through.
+    """
+    if scale_name == "smoke":
+        corpus = dict(profile=TINY_PROFILE, corpus_ham=120, corpus_spam=120)
+        return {
+            "figure1-dictionary": dict(
+                inbox_size=120, folds=2, attack_fractions=(0.0, 0.05),
+                variants=("optimal", "usenet"), **corpus,
+            ),
+            "figure2-focused-knowledge": dict(
+                inbox_size=100, n_targets=3, repetitions=1, attack_count=10,
+                guess_probabilities=(0.3, 0.9), **corpus,
+            ),
+            "figure3-focused-size": dict(
+                inbox_size=100, n_targets=3, repetitions=1, attack_count=10,
+                size_sweep_fractions=(0.0, 0.05), **corpus,
+            ),
+            "roni-defense": dict(
+                pool_size=80, n_nonattack_spam=6, repetitions_per_variant=2,
+                variants=("optimal", "usenet"),
+                roni=RoniConfig(train_size=10, validation_size=20, trials=2),
+                **corpus,
+            ),
+            "figure5-threshold": dict(
+                inbox_size=120, folds=2, attack_fractions=(0.0, 0.05),
+                quantiles=(0.10,), **corpus,
+            ),
+        }
+    corpus = dict(profile=SMALL_PROFILE, corpus_ham=450, corpus_spam=450)
+    return {
+        "figure1-dictionary": dict(
+            inbox_size=600, folds=3, attack_fractions=(0.0, 0.01, 0.05), **corpus,
+        ),
+        "figure2-focused-knowledge": dict(
+            inbox_size=400, n_targets=6, repetitions=2, attack_count=24, **corpus,
+        ),
+        "figure3-focused-size": dict(
+            inbox_size=400, n_targets=6, repetitions=2, attack_count=24,
+            size_sweep_fractions=(0.0, 0.02, 0.06), **corpus,
+        ),
+        "roni-defense": dict(
+            pool_size=200, n_nonattack_spam=20, repetitions_per_variant=3, **corpus,
+        ),
+        "figure5-threshold": dict(
+            inbox_size=400, folds=3, attack_fractions=(0.0, 0.01, 0.05), **corpus,
+        ),
+    }
+
+
+def _best_of(fn, rounds: int):
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+class _NullResult:
+    """Result stand-in for the dispatch microbenchmark."""
+
+    def to_record(self):  # pragma: no cover - trivial
+        return None
+
+
+def _dispatch_microbench(iterations: int = 2_000) -> float:
+    """Microseconds per executor dispatch around a no-op protocol.
+
+    Times exactly the machinery ``run_scenario`` adds over a direct
+    function call: spec resolution, config materialization from
+    defaults, protocol lookup and outcome wrapping.
+    """
+    from repro.experiments.dictionary_exp import DictionaryExperimentConfig
+
+    PROTOCOLS["bench-noop"] = lambda config: _NullResult()
+    try:
+        spec = ScenarioSpec(
+            name="bench-noop",
+            title="dispatch microbenchmark",
+            protocol="bench-noop",
+            config_type=DictionaryExperimentConfig,
+        )
+        start = time.perf_counter()
+        for _ in range(iterations):
+            run_scenario(spec, overrides={"folds": 2})
+        elapsed = time.perf_counter() - start
+    finally:
+        del PROTOCOLS["bench-noop"]
+    return elapsed / iterations * 1e6
+
+
+def run(scale_name: str, seed: int, rounds: int, json_out: Path) -> int:
+    print(f"# scenario-executor benchmark — scale={scale_name}, seed={seed}")
+    entries = {}
+    all_identical = True
+    for name, overrides in _scenario_overrides(scale_name).items():
+        spec = get_scenario(name)
+        config = spec.build_config(seed=seed, **overrides)
+        protocol = PROTOCOLS[spec.protocol]
+
+        driver_time, driver_result = _best_of(lambda: protocol(config), rounds)
+        executor_time, outcome = _best_of(
+            lambda: run_scenario(spec, config=config), rounds
+        )
+        identical = outcome.record_dict() == driver_result.to_record().as_dict()
+        all_identical = all_identical and identical
+        overhead_pct = (
+            (executor_time - driver_time) / driver_time * 100 if driver_time else 0.0
+        )
+        entries[name] = {
+            "driver_seconds": driver_time,
+            "executor_seconds": executor_time,
+            "overhead_percent": overhead_pct,
+            "identical": identical,
+        }
+        print(
+            f"{name:<26} driver {driver_time:7.3f}s   executor {executor_time:7.3f}s   "
+            f"overhead {overhead_pct:+6.2f}%   identical: {'yes' if identical else 'NO'}"
+        )
+
+    dispatch_us = _dispatch_microbench()
+    print(f"\npure dispatch (registry + config + wrapping): {dispatch_us:.1f} us/run")
+    print("executor outputs identical to drivers:", "yes" if all_identical else "NO")
+
+    record = {
+        "benchmark": "scenario_overhead",
+        "scale": scale_name,
+        "seed": seed,
+        "scenarios": entries,
+        "dispatch_microseconds": dispatch_us,
+        "all_identical": all_identical,
+    }
+    json_out.parent.mkdir(parents=True, exist_ok=True)
+    history: list = []
+    if json_out.exists():
+        try:
+            existing = json.loads(json_out.read_text(encoding="utf-8"))
+            history = existing if isinstance(existing, list) else [existing]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    json_out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(f"appended to {json_out} ({len(history)} record(s))")
+    return 0 if all_identical else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("smoke", "small"), default="small")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="best-of-N rounds per measurement")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="record path (default: benchmarks/results/"
+                             "BENCH_scenario[.<scale>].json, appended)")
+    args = parser.parse_args(argv)
+    return run(args.scale, args.seed, args.rounds, args.json or _default_json(args.scale))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,8 @@ Run:  python examples/defense_comparison.py
 
 from __future__ import annotations
 
+import os
+
 from repro import SpamFilter, TrecStyleCorpus
 from repro.attacks import UsenetDictionaryAttack
 from repro.corpus.dataset import Dataset
@@ -26,13 +28,19 @@ from repro.experiments.threshold_exp import attack_messages_as_dataset
 from repro.rng import SeedSpawner
 
 
+# REPRO_EXAMPLE_SCALE=tiny shrinks the demo for the smoke tests in
+# tests/test_examples.py; the output has the same shape either way.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+CORPUS_SIZE, INBOX_SIZE, TEST_SIZE = (250, 300, 100) if TINY else (700, 1_000, 300)
+
+
 def main() -> None:
     spawner = SeedSpawner(2024).spawn("defense-comparison")
-    corpus = TrecStyleCorpus.generate(n_ham=700, n_spam=700, seed=2024)
-    inbox = corpus.dataset.sample_inbox(1_000, 0.5, spawner.rng("inbox"))
+    corpus = TrecStyleCorpus.generate(n_ham=CORPUS_SIZE, n_spam=CORPUS_SIZE, seed=2024)
+    inbox = corpus.dataset.sample_inbox(INBOX_SIZE, 0.5, spawner.rng("inbox"))
     inbox.tokenize_all()
     inbox_ids = {m.msgid for m in inbox}
-    test = [m for m in corpus.dataset if m.msgid not in inbox_ids][:300]
+    test = [m for m in corpus.dataset if m.msgid not in inbox_ids][:TEST_SIZE]
 
     attack = UsenetDictionaryAttack.from_vocabulary(corpus.vocabulary)
     count = attack_message_count(len(inbox), 0.05)

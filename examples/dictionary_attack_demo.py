@@ -16,12 +16,20 @@ Run:  python examples/dictionary_attack_demo.py
 
 from __future__ import annotations
 
+import os
+
 from repro import SpamFilter, TrecStyleCorpus
 from repro.attacks import AspellDictionaryAttack, UsenetDictionaryAttack
 from repro.corpus.stats import coverage_report
 from repro.defenses import RoniDefense
 from repro.experiments.crossval import attack_message_count, evaluate_dataset, train_grouped
 from repro.rng import SeedSpawner
+
+
+# REPRO_EXAMPLE_SCALE=tiny shrinks the demo for the smoke tests in
+# tests/test_examples.py; the output has the same shape either way.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+CORPUS_SIZE, INBOX_SIZE, TEST_SIZE = (250, 300, 100) if TINY else (700, 1_000, 300)
 
 
 def ham_rates(classifier, messages) -> str:
@@ -34,11 +42,11 @@ def ham_rates(classifier, messages) -> str:
 
 def main() -> None:
     spawner = SeedSpawner(42).spawn("dictionary-demo")
-    corpus = TrecStyleCorpus.generate(n_ham=700, n_spam=700, seed=42)
-    inbox = corpus.dataset.sample_inbox(1_000, 0.5, spawner.rng("inbox"))
+    corpus = TrecStyleCorpus.generate(n_ham=CORPUS_SIZE, n_spam=CORPUS_SIZE, seed=42)
+    inbox = corpus.dataset.sample_inbox(INBOX_SIZE, 0.5, spawner.rng("inbox"))
     inbox.tokenize_all()
     inbox_ids = {m.msgid for m in inbox}
-    test = [m for m in corpus.dataset if m.msgid not in inbox_ids][:300]
+    test = [m for m in corpus.dataset if m.msgid not in inbox_ids][:TEST_SIZE]
 
     # --- the attacker's word sources -----------------------------------
     aspell = AspellDictionaryAttack.from_vocabulary(corpus.vocabulary)

@@ -16,6 +16,8 @@ Run:  python examples/focused_attack_demo.py
 
 from __future__ import annotations
 
+import os
+
 from repro import SpamFilter, TrecStyleCorpus
 from repro.analysis.token_shift import token_shift_analysis
 from repro.attacks import FocusedAttack
@@ -23,10 +25,16 @@ from repro.experiments.crossval import train_grouped
 from repro.rng import SeedSpawner
 
 
+# REPRO_EXAMPLE_SCALE=tiny shrinks the demo for the smoke tests in
+# tests/test_examples.py; the output has the same shape either way.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+CORPUS_SIZE, INBOX_SIZE, ATTACK_COUNT = (250, 300, 18) if TINY else (700, 1_000, 60)
+
+
 def main() -> None:
     spawner = SeedSpawner(1337).spawn("focused-demo")
-    corpus = TrecStyleCorpus.generate(n_ham=700, n_spam=700, seed=1337)
-    inbox = corpus.dataset.sample_inbox(1_000, 0.5, spawner.rng("inbox"))
+    corpus = TrecStyleCorpus.generate(n_ham=CORPUS_SIZE, n_spam=CORPUS_SIZE, seed=1337)
+    inbox = corpus.dataset.sample_inbox(INBOX_SIZE, 0.5, spawner.rng("inbox"))
     inbox.tokenize_all()
 
     # The bid email the attacker wants buried: a ham message the victim
@@ -44,7 +52,7 @@ def main() -> None:
           f"label={clean.label}")
 
     header_pool = [m.email for m in inbox.spam]
-    attack_count = 60  # 6% of the inbox — the paper's 300-of-5,000 ratio
+    attack_count = ATTACK_COUNT  # 6% of the inbox — the paper's 300-of-5,000 ratio
 
     print(f"\nattacker sends {attack_count} attack emails (headers stolen from real spam):")
     for guess_probability in (0.1, 0.3, 0.5, 0.9):

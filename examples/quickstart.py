@@ -7,6 +7,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -15,19 +16,25 @@ from repro.rng import SeedSpawner
 from repro.spambayes.persistence import load_classifier, save_classifier
 
 
+# REPRO_EXAMPLE_SCALE=tiny shrinks the demo for the smoke tests in
+# tests/test_examples.py; the output has the same shape either way.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+CORPUS_SIZE, INBOX_SIZE, HELD_OUT = (200, 240, 80) if TINY else (600, 800, 200)
+
+
 def main() -> None:
     # 1. A deterministic TREC-2005-style corpus: ham is Enron-like
     #    business mail, spam is promotional text, over a shared Zipfian
     #    vocabulary (see repro.corpus for the construction).
-    corpus = TrecStyleCorpus.generate(n_ham=600, n_spam=600, seed=7)
+    corpus = TrecStyleCorpus.generate(n_ham=CORPUS_SIZE, n_spam=CORPUS_SIZE, seed=7)
     print(f"corpus: {corpus.dataset}")
 
     # 2. Sample the victim's inbox (50% spam, like the paper) and hold
     #    out the rest for testing.
     rng = SeedSpawner(7).rng("quickstart-inbox")
-    inbox = corpus.dataset.sample_inbox(800, spam_fraction=0.5, rng=rng)
+    inbox = corpus.dataset.sample_inbox(INBOX_SIZE, spam_fraction=0.5, rng=rng)
     inbox_ids = {message.msgid for message in inbox}
-    held_out = [m for m in corpus.dataset if m.msgid not in inbox_ids][:200]
+    held_out = [m for m in corpus.dataset if m.msgid not in inbox_ids][:HELD_OUT]
 
     # 3. Train the three-way filter (θ0 = 0.15, θ1 = 0.9 by default).
     spam_filter = SpamFilter()

@@ -12,17 +12,25 @@ Run:  python examples/retraining_simulation.py
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments.reporting import format_table
 from repro.experiments.retraining import RetrainingConfig, run_retraining_simulation
 
 
+# REPRO_EXAMPLE_SCALE=tiny shrinks the demo for the smoke tests in
+# tests/test_examples.py; the output has the same shape either way.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
+
 def run(defense: str):
     config = RetrainingConfig(
-        weeks=8,
-        ham_per_week=60,
-        spam_per_week=60,
-        attack_start_week=4,
-        attack_per_week=12,
+        weeks=4 if TINY else 8,
+        ham_per_week=25 if TINY else 60,
+        spam_per_week=25 if TINY else 60,
+        attack_start_week=2 if TINY else 4,
+        attack_per_week=8 if TINY else 12,
+        test_size=80 if TINY else 200,
         defense=defense,
         seed=99,
     )
@@ -45,7 +53,8 @@ def main() -> None:
                 d_week.legitimate_rejected,
             ]
         )
-    print("weekly retraining under a dictionary attack (attack starts week 4):\n")
+    start = undefended.config.attack_start_week
+    print(f"weekly retraining under a dictionary attack (attack starts week {start}):\n")
     print(
         format_table(
             [

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The scenario registry: run any attack × defense study by name.
+
+Every experiment in this reproduction — the five paper artifacts and
+the composed cross-products — is a registered *scenario*: a frozen
+declarative spec (protocol, config, attack grid, defense stack) that
+one generic executor runs.  This demo lists the catalogue, runs the
+``focused-vs-roni`` cross-product at demo scale, and shows why it
+exists: the RONI gate that separates dictionary attacks perfectly
+barely notices a focused attack (the paper's Section 5.1 caveat).
+
+Equivalent shell commands::
+
+    python -m repro list-scenarios
+    python -m repro run-scenario focused-vs-roni --set pool_size=120
+
+Run:  python examples/scenario_registry_demo.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.corpus.vocabulary import TINY_PROFILE
+from repro.defenses.roni import RoniConfig
+from repro.scenarios import list_scenarios, run_scenario
+
+# REPRO_EXAMPLE_SCALE=tiny shrinks the demo for the smoke tests in
+# tests/test_examples.py; the output has the same shape either way.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
+
+def main() -> None:
+    print("registered scenarios:\n")
+    for spec in list_scenarios():
+        artifact = f" [{spec.paper_artifact}]" if spec.paper_artifact else ""
+        print(f"  {spec.name:<26} {spec.title}{artifact}")
+
+    overrides = {
+        "pool_size": 100 if TINY else 160,
+        "n_nonattack_spam": 8 if TINY else 20,
+        "repetitions_per_variant": 2 if TINY else 4,
+        "roni": RoniConfig(train_size=10, validation_size=20, trials=2),
+        "profile": TINY_PROFILE,
+        "corpus_ham": 150 if TINY else 250,
+        "corpus_spam": 150 if TINY else 250,
+    }
+    print("\nrunning 'focused-vs-roni' (demo scale)...\n")
+    result = run_scenario("focused-vs-roni", overrides=overrides, seed=7).result
+
+    for variant, impacts in result.attack_impacts.items():
+        mean = sum(impacts) / len(impacts)
+        print(f"  {variant:<10} mean ham-as-ham impact {mean:5.2f}  "
+              f"(per email: {', '.join(f'{v:.1f}' for v in impacts)})")
+    print(f"  non-attack spam: max impact {result.max_nonattack_impact:.2f}")
+    print(f"\n  separable by one threshold? {result.separable}")
+    print(
+        "\nreading: the usenet dictionary attack damages broad validation ham"
+        "\nand towers over non-attack spam, but the focused attack hurts only"
+        "\none future message — RONI's incremental-impact test barely sees it."
+        "\nThat asymmetry is exactly the paper's Section 5.1 closing caveat."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,19 +9,34 @@ identical payloads — ``(tokens, count)`` pairs — which both
 Rendered :class:`Email` objects remain available through
 :meth:`AttackBatch.iter_emails` for demos, mbox export and the RONI
 experiments, which need real messages.
+
+Payloads are **ID-native** on the hot paths: :meth:`AttackBatch.encode`
+interns every group's training token set into a shared
+:class:`~repro.spambayes.token_table.TokenTable` exactly once per
+(batch, table) pair, yielding sorted token-ID arrays that the sweep
+engine's :class:`~repro.engine.sweep.IncrementalAttackTrainer`, the
+:meth:`train_into_ids` fast path and the RONI gate consume directly —
+no string is hashed inside a contamination loop.  The string-facing
+:attr:`AttackMessageGroup.training_tokens` path remains, both as the
+API for dict-keyed classifiers (``repro.spambayes.reference``) and as
+the differential baseline the ID path is tested against.
 """
 
 from __future__ import annotations
 
 import abc
 import random
+from array import array
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Sequence, TYPE_CHECKING
 
 from repro.attacks.payload import HeaderPolicy, render_attack_email
 from repro.attacks.taxonomy import AttackTaxonomy
 from repro.errors import AttackError
 from repro.spambayes.message import Email
+
+if TYPE_CHECKING:  # imported for annotations only — keeps this module light
+    from repro.spambayes.token_table import TokenTable
 
 __all__ = ["AttackMessageGroup", "AttackBatch", "Attack"]
 
@@ -51,6 +66,15 @@ class AttackMessageGroup:
             return self.tokens
         return self.tokens | self.header_tokens
 
+    def encode(self, table: "TokenTable") -> array:
+        """This group's training token set as a sorted token-ID array.
+
+        Interns new tokens into ``table`` — call on the classifier's
+        (or corpus') shared table.  Prefer :meth:`AttackBatch.encode`,
+        which caches the whole batch per table.
+        """
+        return table.encode_unique(self.training_tokens)
+
 
 class AttackBatch:
     """An ordered collection of attack message groups.
@@ -60,9 +84,18 @@ class AttackBatch:
     email carries a different stolen spam header).
     """
 
+    trained_as_spam: bool = True
+    """Label the batch trains under (Section 2.2's contamination
+    assumption); :class:`~repro.attacks.hamlabeled.HamLabeledBatch`
+    flips it."""
+
     def __init__(self, attack_name: str, groups: Sequence[AttackMessageGroup]) -> None:
         self.attack_name = attack_name
         self.groups = list(groups)
+        # encode() cache: the encoded groups plus the table they were
+        # interned into (identity-keyed, like LabeledMessage.token_ids).
+        self._encoded: tuple[tuple[array, int], ...] | None = None
+        self._encoded_table: "TokenTable | None" = None
 
     @property
     def message_count(self) -> int:
@@ -81,20 +114,59 @@ class AttackBatch:
         tokens as the original dataset" accounting in Section 4.2)."""
         return sum(len(group.training_tokens) * group.count for group in self.groups)
 
+    def encode(self, table: "TokenTable") -> tuple[tuple[array, int], ...]:
+        """The batch as ``(sorted token-ID array, count)`` pairs.
+
+        Every group's training token set is interned into ``table``
+        exactly once per (batch, table) pair — repeat calls against the
+        same table return the cached arrays, so a batch that is trained,
+        measured and untrained (RONI, the focused cells) never re-hashes
+        a payload string.  The cache never goes stale: tables are
+        append-only, so assigned IDs cannot shift.  Encoding against a
+        *different* table re-encodes (one batch normally lives its whole
+        life against one corpus table).
+        """
+        if self._encoded is None or self._encoded_table is not table:
+            self._encoded = tuple(
+                (group.encode(table), group.count) for group in self.groups
+            )
+            self._encoded_table = table
+        return self._encoded
+
     def train_into(self, classifier) -> None:
-        """Train every message of the batch as spam into ``classifier``.
+        """Train every message of the batch into ``classifier``.
 
         ``classifier`` is anything with ``learn_repeated(tokens,
         is_spam, count)`` — the contamination assumption trains attack
-        email as spam, never ham (Section 2.2).
+        email as spam, never ham (Section 2.2; ham-labeled batches
+        override :attr:`trained_as_spam`).  This is the string-payload
+        path; hot loops use :meth:`train_into_ids`.
         """
         for group in self.groups:
-            classifier.learn_repeated(group.training_tokens, True, group.count)
+            classifier.learn_repeated(group.training_tokens, self.trained_as_spam, group.count)
 
     def untrain_from(self, classifier) -> None:
         """Reverse :meth:`train_into` on the same classifier."""
         for group in self.groups:
-            classifier.unlearn_repeated(group.training_tokens, True, group.count)
+            classifier.unlearn_repeated(group.training_tokens, self.trained_as_spam, group.count)
+
+    def train_into_ids(self, classifier) -> None:
+        """:meth:`train_into` through the interned-ID fast path.
+
+        Encodes the batch against ``classifier.table`` (cached) and
+        trains via ``learn_ids_repeated`` — bit-identical counts to
+        :meth:`train_into`, with no per-token string hashing after the
+        first encode.
+        """
+        is_spam = self.trained_as_spam
+        for ids, count in self.encode(classifier.table):
+            classifier.learn_ids_repeated(ids, is_spam, count)
+
+    def untrain_from_ids(self, classifier) -> None:
+        """Reverse :meth:`train_into_ids` on the same classifier."""
+        is_spam = self.trained_as_spam
+        for ids, count in self.encode(classifier.table):
+            classifier.unlearn_ids_repeated(ids, is_spam, count)
 
     def iter_emails(self, start_index: int = 0) -> Iterator[Email]:
         """Render every message in the batch as a real :class:`Email`."""
@@ -110,6 +182,15 @@ class AttackBatch:
 
     def __len__(self) -> int:
         return self.message_count
+
+    def __getstate__(self) -> dict:
+        # The encode cache stays process-local: shipping it would
+        # duplicate the arrays next to their table in the pickle, and a
+        # receiver encoding against a different table must re-intern.
+        state = self.__dict__.copy()
+        state["_encoded"] = None
+        state["_encoded_table"] = None
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -14,9 +14,9 @@ spam-typical token's score is dragged down, and future spam slides
 under the ham threshold as false negatives.
 
 The mechanics mirror :class:`~repro.attacks.dictionary.DictionaryAttack`
-with the label flipped, so the same batching machinery applies; a
-dedicated ``train_into`` keeps callers from accidentally training it
-as spam.
+with the label flipped, so the same batching machinery applies; the
+batch's ``trained_as_spam = False`` keeps callers from accidentally
+training it as spam.
 """
 
 from __future__ import annotations
@@ -39,15 +39,14 @@ HAMLABELED_TAXONOMY = AttackTaxonomy(
 
 
 class HamLabeledBatch(AttackBatch):
-    """An attack batch whose messages are trained as *ham*."""
+    """An attack batch whose messages are trained as *ham*.
 
-    def train_into(self, classifier) -> None:
-        for group in self.groups:
-            classifier.learn_repeated(group.training_tokens, False, group.count)
+    Flipping :attr:`~repro.attacks.base.AttackBatch.trained_as_spam`
+    redirects every training path — ``train_into``/``untrain_from`` and
+    their ``*_ids`` twins — to the ham label.
+    """
 
-    def untrain_from(self, classifier) -> None:
-        for group in self.groups:
-            classifier.unlearn_repeated(group.training_tokens, False, group.count)
+    trained_as_spam = False
 
 
 class HamLabeledAttack:

@@ -1,0 +1,141 @@
+"""The named attack-variant catalogue.
+
+Every experiment that sweeps "a grid of attacks" used to hand-roll its
+own variant builder — the Figure 1 driver knew three dictionary
+attacks, the RONI driver knew seven, and adding a variant meant
+editing every builder.  This module is the single catalogue: a variant
+*name* (the string a scenario's attack grid declares) maps to a
+constructor over the experiment's corpus context.
+
+Variants
+--------
+
+``optimal``
+    Every token of the vocabulary universe (Section 3.4's optimum).
+``usenet`` / ``usenet-half`` / ``usenet-quarter`` / ``usenet-tenth``
+    The frequency-ranked Usenet wordlist, optionally truncated to the
+    top 1/2, 1/4 or 1/10 of its entries (the RONI evaluation's
+    unnamed "variants of the dictionary attacks").
+``aspell``
+    The synthetic English dictionary.
+``informed``
+    A budgeted attack drawn from the empirical ham distribution
+    (:func:`repro.attacks.knowledge.budgeted_attack`); needs
+    ``informed_budget``.
+``focused``
+    A :class:`~repro.attacks.focused.FocusedAttack` against the first
+    ham message outside the experiment's pool, wearing headers stolen
+    from the pool's spam; needs ``pool``.  This is what lets gate- and
+    threshold-style scenarios cross with the targeted attack.
+
+Construction is deterministic given ``(corpus, seed)`` (plus the pool
+for ``focused``), so builders can run in any order — or in any worker
+process — and produce identical attacks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.attacks.base import Attack
+from repro.attacks.dictionary import (
+    AspellDictionaryAttack,
+    OptimalDictionaryAttack,
+    UsenetDictionaryAttack,
+)
+from repro.attacks.focused import FocusedAttack
+from repro.attacks.knowledge import EmpiricalHamDistribution, budgeted_attack
+from repro.errors import AttackError
+
+if TYPE_CHECKING:
+    from repro.corpus.dataset import Dataset
+    from repro.corpus.trec import TrecStyleCorpus
+
+__all__ = ["KNOWN_VARIANTS", "build_attack_variants"]
+
+_USENET_TRUNCATIONS = {
+    "usenet-half": 2,
+    "usenet-quarter": 4,
+    "usenet-tenth": 10,
+}
+
+KNOWN_VARIANTS: tuple[str, ...] = (
+    "optimal",
+    "usenet",
+    "usenet-half",
+    "usenet-quarter",
+    "usenet-tenth",
+    "aspell",
+    "informed",
+    "focused",
+)
+"""Every variant name :func:`build_attack_variants` accepts."""
+
+
+def _focused_from_pool(corpus: "TrecStyleCorpus", pool: "Dataset") -> FocusedAttack:
+    """The cross-product focused attack: target the first ham message
+    the pool has *not* trained on, steal headers from the pool's spam."""
+    pool_ids = {message.msgid for message in pool}
+    target = next(
+        (m for m in corpus.dataset.ham if m.msgid not in pool_ids), None
+    )
+    if target is None:
+        raise AttackError("focused variant needs a ham message outside the pool")
+    return FocusedAttack(
+        target.email,
+        guess_probability=0.5,
+        header_pool=[message.email for message in pool.spam],
+    )
+
+
+def build_attack_variants(
+    corpus: "TrecStyleCorpus",
+    variants: Sequence[str],
+    seed: int = 0,
+    informed_budget: int = 1_000,
+    pool: "Dataset | None" = None,
+) -> dict[str, Attack]:
+    """Instantiate the named attack variants for ``corpus``, in order.
+
+    ``seed`` feeds the Usenet frequency ranking; ``informed_budget``
+    sizes the ``informed`` variant; ``pool`` provides the trained-inbox
+    context the ``focused`` variant needs.  Unknown names raise
+    :class:`AttackError` listing the catalogue.
+    """
+    attacks: dict[str, Attack] = {}
+    usenet: UsenetDictionaryAttack | None = None
+
+    def _usenet() -> UsenetDictionaryAttack:
+        nonlocal usenet
+        if usenet is None:
+            usenet = UsenetDictionaryAttack.from_vocabulary(corpus.vocabulary, seed=seed)
+        return usenet
+
+    for variant in variants:
+        if variant in attacks:
+            raise AttackError(f"attack variant {variant!r} requested twice")
+        if variant == "optimal":
+            attacks[variant] = OptimalDictionaryAttack.from_vocabulary(corpus.vocabulary)
+        elif variant == "usenet":
+            attacks[variant] = _usenet()
+        elif variant in _USENET_TRUNCATIONS:
+            full = _usenet().wordlist
+            attacks[variant] = UsenetDictionaryAttack(
+                full, top_k=len(full) // _USENET_TRUNCATIONS[variant]
+            )
+        elif variant == "aspell":
+            attacks[variant] = AspellDictionaryAttack.from_vocabulary(corpus.vocabulary)
+        elif variant == "informed":
+            distribution = EmpiricalHamDistribution(
+                (message.email for message in corpus.dataset.ham[:200])
+            )
+            attacks[variant] = budgeted_attack(distribution, budget=informed_budget)
+        elif variant == "focused":
+            if pool is None:
+                raise AttackError("attack variant 'focused' needs the experiment pool")
+            attacks[variant] = _focused_from_pool(corpus, pool)
+        else:
+            raise AttackError(
+                f"unknown attack variant {variant!r}; known: {', '.join(KNOWN_VARIANTS)}"
+            )
+    return attacks

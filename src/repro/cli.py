@@ -7,10 +7,19 @@ Usage::
     python -m repro figure2 figure3 roni
     python -m repro figure1 --workers 4
     python -m repro all --out results/
+    python -m repro list-scenarios
+    python -m repro run-scenario focused-vs-roni --set pool_size=200
 
-Each command runs the corresponding experiment driver, prints the
-rendered artifact (data table + ASCII figure), and — with ``--out`` —
-also writes the text and a machine-readable JSON record.
+Each artifact command runs the corresponding experiment driver, prints
+the rendered artifact (data table + ASCII figure), and — with
+``--out`` — also writes the text and a machine-readable JSON record.
+
+``list-scenarios`` prints the declarative scenario registry
+(:mod:`repro.scenarios`); ``run-scenario <name>`` executes any
+registered scenario through the generic executor, with ``--set
+key=value`` overriding individual config fields (values are parsed as
+Python literals, e.g. ``--set "attack_fractions=(0.0, 0.05)"``, with a
+plain-string fallback).
 
 ``--workers N`` fans the experiment's independent units (folds,
 repetitions, targets) out over N processes through
@@ -21,12 +30,15 @@ JSON — are identical at any worker count.
 from __future__ import annotations
 
 import argparse
+import ast
+import dataclasses
+import json
 import sys
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 from repro.engine.runner import resolve_workers
-from repro.errors import EngineError
+from repro.errors import EngineError, ReproError, ScenarioError
 from repro.experiments.dictionary_exp import (
     DictionaryExperimentConfig,
     run_dictionary_experiment,
@@ -51,7 +63,7 @@ from repro.experiments.threshold_exp import (
     run_threshold_experiment,
 )
 
-__all__ = ["main", "ARTIFACTS"]
+__all__ = ["main", "ARTIFACTS", "SCENARIO_COMMANDS"]
 
 
 def _dictionary_config(scale: str, seed: int, workers: int = 1) -> DictionaryExperimentConfig:
@@ -130,6 +142,153 @@ ARTIFACTS: dict[str, Callable] = {
 example; they need no sweep, only a rendered analysis.)"""
 
 
+SCENARIO_COMMANDS: tuple[str, ...] = ("list-scenarios", "run-scenario")
+"""Registry-facing subcommands, dispatched ahead of artifact parsing."""
+
+_SCENARIO_RENDERERS: dict[str, Callable] = {
+    "dictionary-sweep": render_dictionary_result,
+    "focused-knowledge": render_focused_knowledge_result,
+    "focused-size": render_focused_size_result,
+    "roni-gate": render_roni_result,
+    "threshold-arms": render_threshold_result,
+}
+"""Protocol -> ASCII renderer; protocols without one print the JSON
+record."""
+
+
+def _parse_override(assignment: str) -> tuple[str, Any]:
+    """One ``--set key=value`` pair; values are Python literals when
+    they parse as one (ints, floats, tuples, booleans), else strings."""
+    key, separator, raw = assignment.partition("=")
+    key = key.strip()
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"--set needs key=value, got {assignment!r}"
+        )
+    try:
+        value: Any = ast.literal_eval(raw.strip())
+    except (ValueError, SyntaxError):
+        value = raw.strip()
+    return key, value
+
+
+def build_run_scenario_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro run-scenario",
+        description="Execute a registered scenario through the generic "
+        "executor (see 'repro list-scenarios' for the catalogue).",
+    )
+    parser.add_argument("name", help="registered scenario name")
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        type=_parse_override,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one config field (repeatable); values parse as "
+        "Python literals with a plain-string fallback; for seed/workers "
+        "a --set entry wins over the dedicated flag",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="small = the config's defaults; paper = the config's "
+        "paper_scale() factory (when it defines one)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="worker processes for the experiment engine "
+        "(default 1 = sequential, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for the .txt artifact and .json record",
+    )
+    return parser
+
+
+def _main_list_scenarios() -> int:
+    from repro.scenarios import list_scenarios
+
+    specs = list_scenarios()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        print(f"{spec.name:<{width}}  {spec.describe()}")
+    print(f"\n{len(specs)} scenarios registered "
+          "(run one with: python -m repro run-scenario <name>)")
+    return 0
+
+
+def _scenario_config(spec, args) -> Any:
+    """Materialize the config a ``run-scenario`` invocation asked for."""
+    overrides = dict(args.overrides)
+    # Validated up front on every path, so a typo in --set gets the
+    # registry's field listing, never a raw dataclass TypeError.
+    spec.validate_overrides(overrides)
+    if args.scale == "paper":
+        factory = getattr(spec.config_type, "paper_scale", None)
+        if factory is None:
+            raise ScenarioError(
+                f"scenario {spec.name!r} has no paper-scale configuration "
+                f"({spec.config_type.__name__} defines no paper_scale())"
+            )
+        base = factory(seed=args.seed, workers=args.workers)
+        config = dataclasses.replace(base, **{**dict(spec.defaults), **overrides})
+    else:
+        merged = dict(overrides)
+        merged.setdefault("seed", args.seed)
+        merged.setdefault("workers", args.workers)
+        config = spec.build_config(**merged)
+    # The configs don't type-check seed/workers themselves, and a
+    # string from --set would surface as a deep TypeError mid-run.
+    if not isinstance(config.seed, int):
+        raise ScenarioError(f"seed must be an integer, got {config.seed!r}")
+    try:
+        resolve_workers(config.workers)
+    except TypeError:
+        raise ScenarioError(
+            f"workers must be an integer >= 0, got {config.workers!r}"
+        ) from None
+    return config
+
+
+def _main_run_scenario(argv: list[str]) -> int:
+    from repro.scenarios import get_scenario, run_scenario
+
+    args = build_run_scenario_parser().parse_args(argv)
+    try:
+        spec = get_scenario(args.name)
+        config = _scenario_config(spec, args)
+        print(f"=== scenario {spec.name} (scale={args.scale}, seed={config.seed}) ===")
+        outcome = run_scenario(spec, config=config)
+    except ReproError as exc:
+        # Covers bad names/overrides and execution-time experiment
+        # errors (e.g. a --set size the corpus cannot satisfy) — user
+        # input mistakes get a diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderer = _SCENARIO_RENDERERS.get(spec.protocol)
+    text = (
+        renderer(outcome.result)
+        if renderer is not None
+        else json.dumps(outcome.record_dict(), indent=2, sort_keys=True)
+    )
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{spec.name}.txt").write_text(text + "\n", encoding="utf-8")
+        if outcome.record is not None:
+            save_record(outcome.record, args.out / f"{spec.name}.json")
+    return 0
+
+
 def _workers_arg(value: str) -> int:
     # Delegate to the engine's own validation so the CLI can't drift
     # from what ParallelRunner accepts; argparse needs its error type.
@@ -145,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate artifacts from 'Exploiting Machine Learning "
         "to Subvert Your Spam Filter' (Nelson et al., 2008).",
+        epilog="Beyond the paper artifacts: 'repro list-scenarios' prints "
+        "the declarative scenario registry and 'repro run-scenario <name> "
+        "[--set key=value ...]' executes any registered scenario.",
     )
     parser.add_argument(
         "artifacts",
@@ -177,6 +339,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Scenario subcommands dispatch before artifact parsing: they have
+    # their own grammar (a scenario name is not an artifact choice).
+    if argv and argv[0] == "list-scenarios":
+        return _main_list_scenarios()
+    if argv and argv[0] == "run-scenario":
+        return _main_run_scenario(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(ARTIFACTS) if "all" in args.artifacts else list(dict.fromkeys(args.artifacts))
     if args.out is not None:

@@ -33,7 +33,12 @@ unlearning it again — both operations are exact inverses in this
 classifier, so no copying is needed.  :meth:`RoniDefense.measure_many`
 amortizes the gate over a candidate batch: candidates are encoded once
 and swept trial-by-trial, which is how :meth:`filter_messages` avoids
-paying a per-message re-encode for every trial.
+paying a per-message re-encode for every trial.  Attack payloads that
+are already ID-native enter through :meth:`RoniDefense.measure_ids` /
+:meth:`RoniDefense.measure_batch` (fed by
+:meth:`repro.attacks.base.AttackBatch.encode`), so the gate consumes
+the attack layer's encoded arrays directly instead of re-interning
+string frozensets.
 """
 
 from __future__ import annotations
@@ -261,8 +266,30 @@ class RoniDefense:
         validation set, and unlearns it — leaving the trial baselines
         untouched for the next query.
         """
-        ids = self._table.encode_unique(tokens)
+        return self.measure_ids(self._table.encode_unique(tokens), is_spam)
+
+    def measure_ids(self, ids: array, is_spam: bool = True) -> RoniMeasurement:
+        """:meth:`measure_tokens` for a pre-encoded candidate.
+
+        ``ids`` must be duplicate-free token IDs from this defense's
+        :attr:`table` — e.g. one entry of
+        :meth:`repro.attacks.base.AttackBatch.encode` — so the gate
+        never re-interns a payload the attack layer already encoded.
+        """
         return self._measure_encoded([(ids, is_spam)])[0]
+
+    def measure_batch(self, batch) -> list[RoniMeasurement]:
+        """Measure an :class:`~repro.attacks.base.AttackBatch`, one
+        measurement per group (order preserved).
+
+        The batch is encoded once against the defense's table (cached
+        on the batch) and measured trial-major through the bulk path —
+        identical numbers to per-group :meth:`measure_tokens` over
+        ``training_tokens``.
+        """
+        is_spam = batch.trained_as_spam
+        encoded = [(ids, is_spam) for ids, _ in batch.encode(self._table)]
+        return self._measure_encoded(encoded)
 
     def measure(self, message: LabeledMessage) -> RoniMeasurement:
         return self._measure_encoded(

@@ -28,9 +28,12 @@ sorted token-ID arrays against a shared
 (:meth:`repro.corpus.dataset.Dataset.encode`); workers receive the
 arrays plus the table — a far smaller pickle than per-message string
 sets — and train/score through the classifier's ``*_ids`` methods, so
-the inner loops never hash a string.  Held-out folds are scored through
-:meth:`Classifier.score_many_ids`, the columnar kernel that shares
-per-token significance work across the fold's messages.
+the inner loops never hash a string.  Attack payloads are ID-native
+too: each fold's batch is interned once through
+:meth:`~repro.attacks.base.AttackBatch.encode` and layered as ID
+arrays (:class:`IncrementalAttackTrainer`).  Held-out folds are scored
+through :meth:`Classifier.score_many_ids`, the columnar kernel that
+shares per-token significance work across the fold's messages.
 
 The shared primitives the experiment drivers use (grouped training,
 dataset evaluation, the incremental attack trainer) live here too;
@@ -194,22 +197,29 @@ class AttackSweepPoint:
     confusion: "ConfusionCounts"
 
 
-class IncrementalAttackTrainer:
-    """Feeds a fold's classifier ever more of one attack batch.
+class _BatchTrainerBase:
+    """Shared contamination schedule over one attack batch.
 
-    Each group's token set is interned once, on first use, into the
-    classifier's table; the contamination sweep then re-trains the same
-    group at successive fractions via pure ID-column arithmetic — a
-    dictionary attack's ~10^5-token set is not re-hashed per fraction.
+    Subclasses define only the payload representation: how the batch
+    becomes ``(payload, count)`` pairs and how one payload trains.  The
+    scheduling — ascending targets, partial-group consumption, the
+    exhaustion check — lives here once, so the ID-native trainer and
+    its string-payload differential baseline cannot drift apart.
     """
 
     def __init__(self, classifier: Classifier, batch: AttackBatch) -> None:
         self._classifier = classifier
-        self._groups = batch.groups
-        self._encoded: list[array | None] = [None] * len(batch.groups)
+        self._label = batch.trained_as_spam
+        self._payloads = self._payloads_of(classifier, batch)
         self._group_index = 0
         self._used_in_group = 0
         self.trained = 0
+
+    def _payloads_of(self, classifier: Classifier, batch: AttackBatch):
+        raise NotImplementedError
+
+    def _train(self, payload, count: int) -> None:
+        raise NotImplementedError
 
     def advance_to(self, target: int) -> None:
         """Train messages until ``target`` of the batch are in effect."""
@@ -218,23 +228,37 @@ class IncrementalAttackTrainer:
                 f"attack sweep must be ascending: asked for {target} after {self.trained}"
             )
         while self.trained < target:
-            if self._group_index >= len(self._groups):
+            if self._group_index >= len(self._payloads):
                 raise ExperimentError(
                     f"attack batch exhausted at {self.trained} of {target} messages"
                 )
-            group = self._groups[self._group_index]
-            ids = self._encoded[self._group_index]
-            if ids is None:
-                ids = self._classifier.encode_tokens(group.training_tokens)
-                self._encoded[self._group_index] = ids
-            available = group.count - self._used_in_group
+            payload, group_count = self._payloads[self._group_index]
+            available = group_count - self._used_in_group
             take = min(available, target - self.trained)
-            self._classifier.learn_ids_repeated(ids, True, take)
+            self._train(payload, take)
             self._used_in_group += take
             self.trained += take
-            if self._used_in_group == group.count:
+            if self._used_in_group == group_count:
                 self._group_index += 1
                 self._used_in_group = 0
+
+
+class IncrementalAttackTrainer(_BatchTrainerBase):
+    """Feeds a fold's classifier ever more of one attack batch.
+
+    The batch is encoded once, up front, against the classifier's table
+    (:meth:`AttackBatch.encode` — cached per batch/table pair); the
+    contamination sweep then re-trains the same groups at successive
+    fractions via pure ID-column arithmetic.  A dictionary attack's
+    ~10^5-token payload is hashed exactly once per batch, never per
+    fraction or per group visit.
+    """
+
+    def _payloads_of(self, classifier: Classifier, batch: AttackBatch):
+        return batch.encode(classifier.table)
+
+    def _train(self, payload, count: int) -> None:
+        self._classifier.learn_ids_repeated(payload, self._label, count)
 
 
 # ----------------------------------------------------------------------
@@ -466,6 +490,24 @@ def run_attack_sweeps(
 # ----------------------------------------------------------------------
 
 
+class _StringPayloadTrainer(_BatchTrainerBase):
+    """The retained string-payload incremental trainer.
+
+    The same contamination schedule as
+    :class:`IncrementalAttackTrainer` (shared via
+    :class:`_BatchTrainerBase`), but training through
+    ``learn_repeated`` over the groups' token *frozensets* — the
+    pre-ID-native code path, kept executable as the differential
+    baseline for :meth:`AttackBatch.encode`.
+    """
+
+    def _payloads_of(self, classifier: Classifier, batch: AttackBatch):
+        return [(group.training_tokens, group.count) for group in batch.groups]
+
+    def _train(self, payload, count: int) -> None:
+        self._classifier.learn_repeated(payload, self._label, count)
+
+
 def sequential_reference_sweep(
     inbox: Dataset,
     attack: Attack,
@@ -481,7 +523,11 @@ def sequential_reference_sweep(
     Retained so equivalence tests and ``bench_parallel_sweep`` can
     prove the engine's fan-out and clean-model reuse change nothing:
     one classifier per fold trained from scratch, per-message scoring,
-    rng drawn inline.
+    rng drawn inline.  Attack contamination is layered through the
+    *string-payload* path (``learn_repeated`` over
+    ``AttackMessageGroup.training_tokens``), so this function doubles
+    as the differential baseline for the ID-native
+    :meth:`AttackBatch.encode` training the engine uses.
     """
     ordered = list(fractions)
     if ordered != sorted(ordered):
@@ -500,7 +546,7 @@ def sequential_reference_sweep(
         train_grouped(classifier, train_set, tokenizer)
         fold_rng = random.Random(rng.getrandbits(64))
         batch = attack.generate(counts[-1], fold_rng)
-        trainer = IncrementalAttackTrainer(classifier, batch)
+        trainer = _StringPayloadTrainer(classifier, batch)
         for point in points:
             trainer.advance_to(point.attack_message_count)
             ham_cutoff = options.ham_cutoff

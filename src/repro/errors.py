@@ -19,6 +19,7 @@ __all__ = [
     "EngineError",
     "ExperimentError",
     "PersistenceError",
+    "ScenarioError",
 ]
 
 
@@ -64,3 +65,7 @@ class ExperimentError(ReproError):
 
 class PersistenceError(ReproError):
     """A classifier database could not be saved or restored."""
+
+
+class ScenarioError(ReproError):
+    """A scenario definition, lookup, or override was invalid."""

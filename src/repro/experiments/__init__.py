@@ -32,6 +32,13 @@ defaults; pass :func:`repro.experiments.params.paper_scale` configs to
 run the full Table-1 sizes.  Every config accepts ``workers`` to fan
 its independent units out across processes (results identical at any
 worker count).
+
+Since PR 3 each driver module is the experiment's *definition*
+(config + result dataclasses + picklable fan-out workers) while the
+orchestration lives in the declarative scenario layer
+(:mod:`repro.scenarios`): ``run_*_experiment`` delegates to the
+registered scenario through the generic
+:func:`repro.scenarios.run_scenario` executor, bit-identically.
 """
 
 from repro.experiments.metrics import ConfusionCounts

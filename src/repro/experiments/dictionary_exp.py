@@ -9,6 +9,12 @@ classified as spam (dashed lines in the figure) and as spam-or-unsure
 Variants, in the paper's legend order: *optimal* (every token the
 victim can see), *usenet* (top-k Usenet words), *aspell* (the English
 dictionary).
+
+This module is the experiment's *definition* — its config, its result
+shape, its public entry point.  Execution is the registered
+``figure1-dictionary`` scenario
+(:func:`repro.scenarios.protocols.run_dictionary_sweep` through the
+generic :func:`repro.scenarios.run_scenario` executor).
 """
 
 from __future__ import annotations
@@ -16,19 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.attacks.dictionary import (
-    AspellDictionaryAttack,
-    DictionaryAttack,
-    OptimalDictionaryAttack,
-    UsenetDictionaryAttack,
-)
+from repro.attacks.base import Attack
+from repro.attacks.variants import build_attack_variants as _build_attack_variants
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
-from repro.engine.sweep import SweepSpec, run_attack_sweeps
 from repro.errors import ExperimentError
 from repro.experiments.crossval import AttackSweepPoint
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
-from repro.rng import SeedSpawner
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 
 __all__ = [
@@ -140,55 +140,24 @@ class DictionaryExperimentResult:
 
 def build_attack_variants(
     corpus: TrecStyleCorpus, variants: Sequence[str], seed: int = 0
-) -> dict[str, DictionaryAttack]:
-    """Instantiate the named Figure 1 attack variants for ``corpus``."""
-    attacks: dict[str, DictionaryAttack] = {}
-    for variant in variants:
-        if variant == "optimal":
-            attacks[variant] = OptimalDictionaryAttack.from_vocabulary(corpus.vocabulary)
-        elif variant == "usenet":
-            attacks[variant] = UsenetDictionaryAttack.from_vocabulary(corpus.vocabulary, seed=seed)
-        elif variant == "aspell":
-            attacks[variant] = AspellDictionaryAttack.from_vocabulary(corpus.vocabulary)
-        else:
-            raise ExperimentError(f"unknown dictionary attack variant {variant!r}")
-    return attacks
+) -> dict[str, Attack]:
+    """Instantiate the named attack variants for ``corpus``.
+
+    Historical Figure 1 entry point, now a facade over the shared
+    catalogue (:func:`repro.attacks.variants.build_attack_variants`),
+    so it accepts every catalogued name, not just the Figure 1 trio.
+    """
+    return _build_attack_variants(corpus, variants, seed=seed)
 
 
 def run_dictionary_experiment(
     config: DictionaryExperimentConfig = DictionaryExperimentConfig(),
 ) -> DictionaryExperimentResult:
-    """Run the Figure 1 experiment end to end."""
-    spawner = SeedSpawner(config.seed).spawn("dictionary-experiment")
-    corpus = TrecStyleCorpus.generate(
-        n_ham=config.corpus_ham,
-        n_spam=config.corpus_spam,
-        profile=config.profile,
-        seed=spawner.child_seed("corpus"),
-    )
-    inbox = corpus.dataset.sample_inbox(
-        config.inbox_size, config.spam_prevalence, spawner.rng("inbox")
-    )
-    inbox.tokenize_all()
-    # Encode once: every variant's sweep (and its workers) reuses the
-    # same token-ID arrays and interning table.
-    table = inbox.encode()
-    attacks = build_attack_variants(corpus, config.variants, seed=config.seed)
-    result = DictionaryExperimentResult(config=config)
-    specs = [
-        (
-            SweepSpec(key=variant, attack=attack, fractions=tuple(config.attack_fractions)),
-            spawner.rng(f"sweep:{variant}"),
-        )
-        for variant, attack in attacks.items()
-    ]
-    for sweep in run_attack_sweeps(
-        inbox,
-        specs,
-        config.folds,
-        options=config.options,
-        workers=config.workers,
-        table=table,
-    ):
-        result.sweeps[sweep.key] = sweep.points
-    return result
+    """Run the Figure 1 experiment end to end.
+
+    Delegates to the ``figure1-dictionary`` scenario; results are
+    bit-identical to the historical inline driver at any worker count.
+    """
+    from repro.scenarios import run_scenario  # late: scenarios imports this module
+
+    return run_scenario("figure1-dictionary", config=config).result

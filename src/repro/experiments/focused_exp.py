@@ -26,6 +26,12 @@ bit-identical at any worker count:
    :meth:`Classifier.snapshot`, classify the target, and
    :meth:`~Classifier.restore` — the snapshotted state is exactly what
    the historical learn/unlearn pairing produced.
+
+This module holds the experiment's definition — configs, results, and
+the picklable worker functions the fan-out ships — while the
+orchestration runs as the ``figure2-focused-knowledge`` /
+``figure3-focused-size`` scenarios
+(:mod:`repro.scenarios.protocols`).
 """
 
 from __future__ import annotations
@@ -35,19 +41,16 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.attacks.base import AttackBatch
-from repro.attacks.focused import FocusedAttack
 from repro.corpus.dataset import LabeledMessage
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
-from repro.engine.runner import ParallelRunner
-from repro.engine.sweep import IncrementalAttackTrainer, attack_message_count, train_grouped
+from repro.engine.sweep import IncrementalAttackTrainer, train_grouped
 from repro.errors import ExperimentError
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
-from repro.spambayes.tokenizer import DEFAULT_TOKENIZER
 
 __all__ = [
     "FocusedExperimentConfig",
@@ -166,20 +169,6 @@ def _prepare_one_repetition(context: _PrepareContext, rep: int) -> _Repetition:
     return _Repetition(classifier, targets, header_pool)
 
 
-def _prepare_repetitions(config: FocusedExperimentConfig) -> list[_Repetition]:
-    spawner = SeedSpawner(config.seed).spawn("focused-experiment")
-    corpus = TrecStyleCorpus.generate(
-        n_ham=config.corpus_ham,
-        n_spam=config.corpus_spam,
-        profile=config.profile,
-        seed=spawner.child_seed("corpus"),
-    )
-    context = _PrepareContext(corpus, config, spawner.seed)
-    return ParallelRunner(config.workers).map(
-        _prepare_one_repetition, context, list(range(config.repetitions))
-    )
-
-
 def _label_of_ids(classifier: Classifier, target_ids) -> Label:
     score = classifier.score_ids(target_ids)
     if score <= classifier.options.ham_cutoff:
@@ -220,7 +209,9 @@ def _run_knowledge_cell(context: _EvalContext, task: _KnowledgeTask) -> tuple[bo
     for batch in task.batches:
         snap = classifier.snapshot()
         try:
-            batch.train_into(classifier)
+            # ID-native: the batch encodes once against the repetition
+            # classifier's table and trains as ID arrays.
+            batch.train_into_ids(classifier)
             labels.append(_label_of_ids(classifier, task.target_ids).value)
         finally:
             classifier.restore(snap)
@@ -305,37 +296,11 @@ class FocusedKnowledgeResult:
 def run_focused_knowledge_experiment(
     config: FocusedExperimentConfig = FocusedExperimentConfig(),
 ) -> FocusedKnowledgeResult:
-    """Run the Figure 2 experiment."""
-    repetitions = _prepare_repetitions(config)
-    attack_rng = SeedSpawner(config.seed).spawn("focused-knowledge").rng("attacks")
-    # Batch generation consumes the one shared attack stream, so it
-    # stays in the parent, in the historical rep -> target -> p order.
-    tasks: list[_KnowledgeTask] = []
-    for rep_index, repetition in enumerate(repetitions):
-        for target in repetition.targets:
-            batches = []
-            for probability in config.guess_probabilities:
-                attack = FocusedAttack(
-                    target.email,
-                    guess_probability=probability,
-                    header_pool=repetition.header_pool,
-                )
-                batches.append(attack.generate(config.attack_count, attack_rng))
-            target_ids = target.token_ids(repetition.classifier.table, DEFAULT_TOKENIZER)
-            tasks.append(_KnowledgeTask(rep_index, target_ids, tuple(batches)))
-    context = _EvalContext(tuple(rep.classifier for rep in repetitions))
-    outcomes = ParallelRunner(config.workers).map(_run_knowledge_cell, context, tasks)
+    """Run the Figure 2 experiment (the ``figure2-focused-knowledge``
+    scenario); bit-identical to the historical inline driver."""
+    from repro.scenarios import run_scenario  # late: scenarios imports this module
 
-    result = FocusedKnowledgeResult(config=config)
-    for probability in config.guess_probabilities:
-        result.label_counts[probability] = {"ham": 0, "unsure": 0, "spam": 0}
-    for pre_attack_ham, labels in outcomes:
-        result.total_targets += 1
-        if pre_attack_ham:
-            result.pre_attack_ham += 1
-        for probability, label in zip(config.guess_probabilities, labels):
-            result.label_counts[probability][label] += 1
-    return result
+    return run_scenario("figure2-focused-knowledge", config=config).result
 
 
 @dataclass
@@ -362,46 +327,9 @@ class FocusedSizeResult:
 def run_focused_size_experiment(
     config: FocusedExperimentConfig = FocusedExperimentConfig(),
 ) -> FocusedSizeResult:
-    """Run the Figure 3 experiment (p fixed, attack size swept)."""
-    fractions = list(config.size_sweep_fractions)
-    if fractions != sorted(fractions):
-        raise ExperimentError("size_sweep_fractions must be ascending")
-    repetitions = _prepare_repetitions(config)
-    attack_rng = SeedSpawner(config.seed).spawn("focused-size").rng("attacks")
-    counts = [attack_message_count(config.inbox_size, f) for f in fractions]
-    tasks: list[_SizeTask] = []
-    for rep_index, repetition in enumerate(repetitions):
-        for target in repetition.targets:
-            attack = FocusedAttack(
-                target.email,
-                guess_probability=config.size_sweep_guess_probability,
-                header_pool=repetition.header_pool,
-            )
-            batch = attack.generate(counts[-1] if counts else 0, attack_rng)
-            target_ids = target.token_ids(repetition.classifier.table, DEFAULT_TOKENIZER)
-            tasks.append(_SizeTask(rep_index, target_ids, batch))
-    context = _EvalContext(
-        tuple(rep.classifier for rep in repetitions), counts=tuple(counts)
-    )
-    outcomes = ParallelRunner(config.workers).map(_run_size_cell, context, tasks)
+    """Run the Figure 3 experiment (p fixed, attack size swept) — the
+    ``figure3-focused-size`` scenario; bit-identical to the historical
+    inline driver."""
+    from repro.scenarios import run_scenario  # late: scenarios imports this module
 
-    as_spam = [0] * len(fractions)
-    as_filtered = [0] * len(fractions)  # spam or unsure
-    total = 0
-    for labels in outcomes:
-        total += 1
-        for index, label in enumerate(labels):
-            if label == Label.SPAM.value:
-                as_spam[index] += 1
-            if label != Label.HAM.value:
-                as_filtered[index] += 1
-    result = FocusedSizeResult(config=config)
-    for index, fraction in enumerate(fractions):
-        result.points.append(
-            CurvePoint(
-                x=fraction,
-                ham_as_spam_rate=as_spam[index] / total if total else 0.0,
-                ham_misclassified_rate=as_filtered[index] / total if total else 0.0,
-            )
-        )
-    return result
+    return run_scenario("figure3-focused-size", config=config).result

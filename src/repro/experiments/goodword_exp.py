@@ -10,6 +10,10 @@ footing inside this reproduction.
 
 Output: per attacker model, the evasion rate as a function of the
 word budget, and the median words-to-evade.
+
+This module holds the experiment's definition (config, result, the
+picklable evasion worker); orchestration runs as the
+``goodword-evasion`` scenario (:mod:`repro.scenarios.protocols`).
 """
 
 from __future__ import annotations
@@ -18,15 +22,10 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.attacks.goodword import CommonWordGoodWordAttack, OracleGoodWordAttack
-from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
-from repro.corpus.wordlists import build_usenet_wordlist
-from repro.engine.runner import ParallelRunner
 from repro.errors import ExperimentError
-from repro.experiments.crossval import train_grouped
 from repro.spambayes.message import Email
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
-from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 from repro.spambayes.tokenizer import DEFAULT_TOKENIZER
@@ -120,78 +119,9 @@ def _evade_one_message(context: _GoodWordContext, email: Email) -> dict[str, lis
 def run_goodword_experiment(
     config: GoodWordExperimentConfig = GoodWordExperimentConfig(),
 ) -> GoodWordExperimentResult:
-    """Measure evasion rate vs word budget for both knowledge models."""
-    spawner = SeedSpawner(config.seed).spawn("goodword-experiment")
-    corpus = TrecStyleCorpus.generate(
-        n_ham=config.corpus_ham,
-        n_spam=config.corpus_spam,
-        profile=config.profile,
-        seed=spawner.child_seed("corpus"),
-    )
-    inbox = corpus.dataset.sample_inbox(
-        config.inbox_size, config.spam_prevalence, spawner.rng("inbox")
-    )
-    inbox.tokenize_all()
-    table = inbox.encode()
-    classifier = Classifier(config.options, table=table)
-    train_grouped(classifier, inbox)
+    """Measure evasion rate vs word budget for both knowledge models —
+    the ``goodword-evasion`` scenario; bit-identical to the historical
+    inline driver."""
+    from repro.scenarios import run_scenario  # late: scenarios imports this module
 
-    inbox_ids = {m.msgid for m in inbox}
-    test_spam = [m for m in corpus.dataset.spam if m.msgid not in inbox_ids]
-    if len(test_spam) < config.n_test_spam:
-        raise ExperimentError(
-            f"need {config.n_test_spam} held-out spam, only {len(test_spam)} available"
-        )
-    test_spam = test_spam[: config.n_test_spam]
-    # Only spam the clean filter actually catches is worth evading.
-    # One encoded bulk pass instead of a per-message score loop.
-    spam_cutoff = config.options.spam_cutoff
-    test_scores = classifier.score_many_ids(
-        [m.token_ids(table) for m in test_spam]
-    )
-    caught = [
-        m for m, score in zip(test_spam, test_scores) if score > spam_cutoff
-    ]
-    if not caught:
-        raise ExperimentError("clean filter catches no test spam; nothing to evade")
-
-    usenet = build_usenet_wordlist(corpus.vocabulary, seed=config.seed)
-    attackers = {
-        "common-word (blind)": CommonWordGoodWordAttack(usenet.words),
-        "oracle (Lowd-Meek)": OracleGoodWordAttack(
-            classifier, usenet.words[: config.oracle_candidates]
-        ),
-    }
-
-    # Each caught spam is one task: padding and scoring draw no
-    # randomness, so any execution order (and any worker count) tallies
-    # the same curves.
-    context = _GoodWordContext(
-        classifier, attackers, tuple(config.word_budgets), spam_cutoff
-    )
-    per_message = ParallelRunner(config.workers).map(
-        _evade_one_message, context, [message.email for message in caught]
-    )
-
-    result = GoodWordExperimentResult(config=config)
-    budgets = list(config.word_budgets)
-    for model_name in attackers:
-        evaded_per_budget = [0] * len(budgets)
-        evaded_at: list[int | None] = []
-        for outcome in per_message:
-            flags = outcome[model_name]
-            first_evading = None
-            for index, evaded in enumerate(flags):
-                if evaded:
-                    evaded_per_budget[index] += 1
-                    if first_evading is None:
-                        first_evading = budgets[index]
-            evaded_at.append(first_evading)
-        result.evasion[model_name] = [
-            (budget, count / len(caught)) for budget, count in zip(budgets, evaded_per_budget)
-        ]
-        # Median words-to-evade, with "never evaded within budget"
-        # treated as +infinity: a None median means most spam resisted.
-        costs = sorted(evaded_at, key=lambda c: float("inf") if c is None else c)
-        result.median_words_to_evade[model_name] = costs[(len(costs) - 1) // 2]
-    return result
+    return run_scenario("goodword-evasion", config=config).result

@@ -15,8 +15,15 @@ emails with zero false positives.
 The paper does not enumerate its seven variants beyond "variants of
 the dictionary attacks in Section 3.2"; ours are the three named
 attacks plus truncations of the Usenet list and an informed
-(empirical-distribution) attack — documented in DESIGN.md §3 and
-configurable here.
+(empirical-distribution) attack — resolved through the shared
+catalogue (:func:`repro.attacks.variants.build_attack_variants`) and
+configurable here.  Because the catalogue also knows the ``focused``
+variant, the same protocol doubles as the ``focused-vs-roni``
+cross-product scenario.
+
+This module holds the experiment's definition (config, result, the
+picklable measurement workers); orchestration runs as the
+``roni-defense`` scenario (:mod:`repro.scenarios.protocols`).
 """
 
 from __future__ import annotations
@@ -24,18 +31,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.attacks.dictionary import (
-    AspellDictionaryAttack,
-    DictionaryAttack,
-    OptimalDictionaryAttack,
-    UsenetDictionaryAttack,
-)
-from repro.attacks.knowledge import EmpiricalHamDistribution, budgeted_attack
+from repro.attacks.base import Attack
 from repro.corpus.dataset import Dataset, LabeledMessage
-from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.defenses.roni import RoniConfig, RoniDefense
-from repro.engine.runner import ParallelRunner
 from repro.errors import ExperimentError
 from repro.experiments.results import ExperimentRecord
 from repro.rng import SeedSpawner
@@ -174,35 +173,6 @@ class RoniExperimentResult:
         )
 
 
-def _build_variants(
-    corpus: TrecStyleCorpus, config: RoniExperimentConfig
-) -> dict[str, DictionaryAttack]:
-    usenet = UsenetDictionaryAttack.from_vocabulary(corpus.vocabulary, seed=config.seed)
-    full = usenet.wordlist
-    attacks: dict[str, DictionaryAttack] = {}
-    for variant in config.variants:
-        if variant == "optimal":
-            attacks[variant] = OptimalDictionaryAttack.from_vocabulary(corpus.vocabulary)
-        elif variant == "usenet":
-            attacks[variant] = usenet
-        elif variant == "usenet-half":
-            attacks[variant] = UsenetDictionaryAttack(full, top_k=len(full) // 2)
-        elif variant == "usenet-quarter":
-            attacks[variant] = UsenetDictionaryAttack(full, top_k=len(full) // 4)
-        elif variant == "usenet-tenth":
-            attacks[variant] = UsenetDictionaryAttack(full, top_k=len(full) // 10)
-        elif variant == "aspell":
-            attacks[variant] = AspellDictionaryAttack.from_vocabulary(corpus.vocabulary)
-        elif variant == "informed":
-            distribution = EmpiricalHamDistribution(
-                (message.email for message in corpus.dataset.ham[:200])
-            )
-            attacks[variant] = budgeted_attack(distribution, budget=config.informed_budget)
-        else:
-            raise ExperimentError(f"unknown RONI attack variant {variant!r}")
-    return attacks
-
-
 @dataclass(frozen=True)
 class _RoniContext:
     """Read-only worker context: the pool (pre-encoded), the attacks,
@@ -215,7 +185,7 @@ class _RoniContext:
 
     pool: Dataset
     table: TokenTable
-    attacks: dict[str, DictionaryAttack]
+    attacks: dict[str, Attack]
     config: RoniExperimentConfig
     spawner_seed: int
 
@@ -239,8 +209,9 @@ def _measure_attack_repetition(context: _RoniContext, rep: int) -> list[float]:
     impacts = []
     for attack in context.attacks.values():
         batch = attack.generate(1, attack_rng)
-        tokens = batch.groups[0].training_tokens
-        measurement = defense.measure_tokens(tokens, is_spam=True)
+        # ID-native: the batch's payload enters the gate as the encoded
+        # array AttackBatch.encode produced — no string re-interning.
+        measurement = defense.measure_batch(batch)[0]
         impacts.append(measurement.ham_as_ham_decrease)
     return impacts
 
@@ -270,49 +241,8 @@ def _measure_spam_batch(
 def run_roni_experiment(
     config: RoniExperimentConfig = RoniExperimentConfig(),
 ) -> RoniExperimentResult:
-    """Run the Section 5.1 evaluation end to end."""
-    spawner = SeedSpawner(config.seed).spawn("roni-experiment")
-    corpus = TrecStyleCorpus.generate(
-        n_ham=config.corpus_ham,
-        n_spam=config.corpus_spam,
-        profile=config.profile,
-        seed=spawner.child_seed("corpus"),
-    )
-    pool = corpus.dataset.sample_inbox(
-        config.pool_size, config.spam_prevalence, spawner.rng("pool")
-    )
-    pool.tokenize_all()
-    table = pool.encode()
-    pool_ids = {message.msgid for message in pool}
-    spam_outside = [m for m in corpus.dataset.spam if m.msgid not in pool_ids]
-    if len(spam_outside) < config.n_nonattack_spam:
-        raise ExperimentError(
-            f"need {config.n_nonattack_spam} non-attack spam outside the pool, "
-            f"only {len(spam_outside)} available"
-        )
-    attacks = _build_variants(corpus, config)
-    result = RoniExperimentResult(config=config)
-    result.attack_impacts = {variant: [] for variant in attacks}
-    context = _RoniContext(pool, table, attacks, config, spawner.seed)
-    runner = ParallelRunner(config.workers)
+    """Run the Section 5.1 evaluation end to end — the ``roni-defense``
+    scenario; bit-identical to the historical inline driver."""
+    from repro.scenarios import run_scenario  # late: scenarios imports this module
 
-    # Attack emails: a fresh RONI calibration per repetition, one email
-    # of each variant measured against it.
-    per_rep = runner.map(
-        _measure_attack_repetition, context, list(range(config.repetitions_per_variant))
-    )
-    for impacts in per_rep:
-        for variant, impact in zip(attacks, impacts):
-            result.attack_impacts[variant].append(impact)
-
-    # Non-attack spam: measured against a dedicated calibration, in
-    # round-robin batches so no single resample biases the distribution.
-    queries = spawner.rng("query-choice").sample(spam_outside, config.n_nonattack_spam)
-    per_defense = max(1, config.n_nonattack_spam // config.repetitions_per_variant)
-    batches = [
-        (rep, tuple(queries[start : start + per_defense]))
-        for rep, start in enumerate(range(0, len(queries), per_defense))
-    ]
-    for impacts in runner.map(_measure_spam_batch, context, batches):
-        result.nonattack_spam_impacts.extend(impacts)
-    return result
+    return run_scenario("roni-defense", config=config).result

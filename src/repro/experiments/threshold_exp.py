@@ -23,6 +23,12 @@ threshold fits) replaying the sequential rng draw order, so
 ``workers=N`` reproduces ``workers=1`` bit for bit.  Fold classifiers
 are derived from a shared full-inbox model by snapshot/unlearn/restore
 rather than retrained.
+
+This module holds the experiment's definition (config, result, the
+picklable fold worker); orchestration runs as the
+``figure5-threshold`` scenario — and, with a one-line attack-variant
+override, as cross-products like ``aspell-vs-threshold``
+(:mod:`repro.scenarios.protocols`).
 """
 
 from __future__ import annotations
@@ -33,27 +39,19 @@ from typing import Sequence
 
 from repro.attacks.base import Attack, AttackBatch
 from repro.corpus.dataset import Dataset, LabeledMessage
-from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.defenses.threshold import DynamicThresholdConfig, DynamicThresholdDefense
-from repro.engine.runner import ParallelRunner
-from repro.engine.seeding import drawn_seeds
 from repro.engine.sweep import (
     IncrementalAttackTrainer,
-    attack_message_count,
     evaluate_dataset,
-    train_grouped,
     unlearn_grouped,
 )
-from repro.errors import ExperimentError
-from repro.experiments.dictionary_exp import build_attack_variants
 from repro.experiments.metrics import ConfusionCounts
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
-from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.message import Email
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
-from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
+from repro.spambayes.tokenizer import Tokenizer
 
 __all__ = [
     "ThresholdExperimentConfig",
@@ -233,81 +231,9 @@ def _run_threshold_fold(
 def run_threshold_experiment(
     config: ThresholdExperimentConfig = ThresholdExperimentConfig(),
 ) -> ThresholdExperimentResult:
-    """Run the Figure 5 experiment end to end."""
-    fractions = list(config.attack_fractions)
-    if fractions != sorted(fractions):
-        raise ExperimentError("attack_fractions must be ascending")
-    spawner = SeedSpawner(config.seed).spawn("threshold-experiment")
-    corpus = TrecStyleCorpus.generate(
-        n_ham=config.corpus_ham,
-        n_spam=config.corpus_spam,
-        profile=config.profile,
-        seed=spawner.child_seed("corpus"),
-    )
-    inbox = corpus.dataset.sample_inbox(
-        config.inbox_size, config.spam_prevalence, spawner.rng("inbox")
-    )
-    inbox.tokenize_all()
-    attack = build_attack_variants(corpus, (config.attack_variant,), seed=config.seed)[
-        config.attack_variant
-    ]
-    counts = [attack_message_count(config.inbox_size, f) for f in fractions]
-    quantiles = tuple(config.quantiles)
-    arms = ["no-defense"] + [f"threshold-{q:.2f}" for q in quantiles]
+    """Run the Figure 5 experiment end to end — the
+    ``figure5-threshold`` scenario; bit-identical to the historical
+    inline driver."""
+    from repro.scenarios import run_scenario  # late: scenarios imports this module
 
-    # Plan fold tasks, replaying the sequential draw order on the fold
-    # rng: the k-fold shuffle, then per fold one batch seed followed by
-    # one fit seed per fraction × quantile.
-    fold_rng = spawner.rng("folds")
-    pairs = inbox.k_fold_indices(config.folds, fold_rng)
-    seeds_per_fold = 1 + len(fractions) * len(quantiles)
-    tasks = [
-        _FoldTask(tuple(train_idx), tuple(test_idx), tuple(drawn_seeds(fold_rng, seeds_per_fold)))
-        for train_idx, test_idx in pairs
-    ]
-    # The inbox's shared table: the full model's count columns, the
-    # pre-encoded message arrays and every fold worker all index by it.
-    table = inbox.encode()
-    full_model = Classifier(config.options, table=table)
-    train_grouped(full_model, inbox)
-    context = _FoldContext(
-        inbox=inbox,
-        attack=attack,
-        counts=tuple(counts),
-        quantiles=quantiles,
-        options=config.options,
-        tokenizer=DEFAULT_TOKENIZER,
-        full_model=full_model,
-    )
-    fold_outcomes = ParallelRunner(config.workers).map(_run_threshold_fold, context, tasks)
-
-    result = ThresholdExperimentResult(config=config)
-    accumulators: dict[str, list[ConfusionCounts]] = {
-        arm: [ConfusionCounts() for _ in fractions] for arm in arms
-    }
-    threshold_fits: dict[str, list[list[tuple[float, float]]]] = {
-        arm: [[] for _ in fractions] for arm in arms[1:]
-    }
-    for static_arm, fitted_arms in fold_outcomes:
-        for index, confusion in enumerate(static_arm):
-            accumulators["no-defense"][index].merge(confusion)
-        for index, per_quantile in enumerate(fitted_arms):
-            for quantile, (theta0, theta1, confusion) in zip(quantiles, per_quantile):
-                arm = f"threshold-{quantile:.2f}"
-                threshold_fits[arm][index].append((theta0, theta1))
-                accumulators[arm][index].merge(confusion)
-    for arm in arms:
-        result.series[arm] = [
-            CurvePoint.from_confusion(fraction, confusion)
-            for fraction, confusion in zip(fractions, accumulators[arm])
-        ]
-    for arm, fits_per_fraction in threshold_fits.items():
-        result.fitted_thresholds[arm] = [
-            (
-                fraction,
-                sum(theta0 for theta0, _ in fits) / len(fits),
-                sum(theta1 for _, theta1 in fits) / len(fits),
-            )
-            for fraction, fits in zip(fractions, fits_per_fraction)
-        ]
-    return result
+    return run_scenario("figure5-threshold", config=config).result

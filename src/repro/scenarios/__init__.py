@@ -1,0 +1,49 @@
+"""Declarative experiment scenarios: spec → registry → executor.
+
+The paper's experiments — and every composed attack × defense study
+since — are *scenarios*: a frozen :class:`ScenarioSpec` (protocol,
+config dataclass, default overrides, attack/defense coordinates) in a
+process-safe registry, executed by one generic :func:`run_scenario`.
+
+    from repro.scenarios import run_scenario, list_scenarios
+
+    for spec in list_scenarios():
+        print(spec.name, "-", spec.title)
+    outcome = run_scenario("figure1-dictionary", overrides={"folds": 2})
+    print(outcome.record_dict())
+
+The historical ``run_*_experiment`` entry points delegate here, and
+``python -m repro run-scenario <name> [--set key=value ...]`` exposes
+the same path from a shell.  Adding a new composition is a ~20-line
+:func:`register_scenario` call — see
+:mod:`repro.scenarios.builtin` for the catalogue and
+``docs/experiments.md`` for a how-to.
+"""
+
+from repro.scenarios.builtin import BUILTIN_SCENARIOS, register_builtin_scenarios
+from repro.scenarios.executor import ScenarioOutcome, run_scenario
+from repro.scenarios.protocols import PROTOCOLS, PreparedInbox, prepare_inbox
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+register_builtin_scenarios()
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "PROTOCOLS",
+    "PreparedInbox",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "prepare_inbox",
+    "register_builtin_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,85 @@
+"""The process-safe scenario registry.
+
+One flat ``name -> ScenarioSpec`` mapping.  Process safety here means
+*reproducibility across processes*, which the engine's worker fan-out
+requires: the registry is populated deterministically at import time
+(:mod:`repro.scenarios.builtin` registers the paper scenarios when the
+package is imported), specs are immutable, and registration is guarded
+by a lock plus a duplicate check — so every process that imports
+:mod:`repro.scenarios` sees the identical catalogue, and a scenario
+name means the same experiment everywhere (parent, worker, CLI, CI).
+
+Registration validates the spec's ``protocol`` against the executor's
+protocol table at registration time, not first-run time, so a typo in
+a new scenario fails at import.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+]
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+_LOCK = threading.Lock()
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry; returns it (decorator-friendly).
+
+    Duplicate names are an error — scenarios are global coordinates,
+    and silently replacing one would make the same name mean different
+    experiments in different processes.
+    """
+    from repro.scenarios.protocols import PROTOCOLS  # late: avoids import cycle
+
+    if spec.protocol not in PROTOCOLS:
+        raise ScenarioError(
+            f"scenario {spec.name!r} names unknown protocol {spec.protocol!r}; "
+            f"known: {', '.join(sorted(PROTOCOLS))}"
+        )
+    with _LOCK:
+        existing = _REGISTRY.get(spec.name)
+        if existing is not None:
+            if existing == spec:  # idempotent re-registration (re-imports)
+                return existing
+            raise ScenarioError(f"scenario {spec.name!r} is already registered")
+        _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name; unknown names list the catalogue."""
+    with _LOCK:
+        spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        )
+    return spec
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+def list_scenarios(
+    predicate: Callable[[ScenarioSpec], bool] | None = None,
+) -> list[ScenarioSpec]:
+    """Registered specs sorted by name, optionally filtered."""
+    with _LOCK:
+        specs: Iterable[ScenarioSpec] = [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    if predicate is not None:
+        specs = [spec for spec in specs if predicate(spec)]
+    return list(specs)

@@ -3,9 +3,18 @@
 Corpus generation is deterministic, so the expensive fixtures are
 session-scoped: every test that asks for ``small_corpus`` sees the
 exact same object, and mutating tests must copy what they touch.
+
+``REPRO_WORKERS`` (same knob as ``benchmarks/conftest.py``) sets the
+worker count the experiment-running tests pass to their configs, so CI
+can run the identical suite once sequentially and once through the
+process fan-out.  Results are bit-identical at any value — that is the
+engine's contract — so the assertions never change, only which code
+path proves them.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -14,6 +23,15 @@ from repro.corpus.vocabulary import TINY_PROFILE, SMALL_PROFILE, Vocabulary
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.filter import SpamFilter
+
+SUITE_WORKERS = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+"""Worker processes for experiment-running tests (env REPRO_WORKERS)."""
+
+
+@pytest.fixture(scope="session")
+def suite_workers() -> int:
+    """The REPRO_WORKERS-resolved worker count for experiment configs."""
+    return SUITE_WORKERS
 
 
 @pytest.fixture(scope="session")

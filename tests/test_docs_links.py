@@ -36,11 +36,7 @@ def test_checker_flags_broken_references(tmp_path):
         "Run `python -m repro figure9` or `python -m repro figure1 --bogus 3`.\n",
         encoding="utf-8",
     )
-    from repro.cli import ARTIFACTS, build_parser
-
-    artifacts = set(ARTIFACTS) | {"all"}
-    flags = {opt for action in build_parser()._actions for opt in action.option_strings}
-    problems = checker.check_file(doc, artifacts, flags)
+    problems = checker.check_file(doc, checker.cli_tables())
     assert len(problems) == 4, problems
 
 
@@ -49,11 +45,25 @@ def test_checker_accepts_known_cli_usage(tmp_path):
     doc = tmp_path / "good.md"
     doc.write_text(
         "`python -m repro figure2 figure3 --scale paper --seed 3 --workers 4`\n"
-        "`python -m repro all --out results/`\n",
+        "`python -m repro all --out results/`\n"
+        "`python -m repro list-scenarios`\n"
+        "`python -m repro run-scenario focused-vs-roni --set pool_size=200 --seed 3`\n",
         encoding="utf-8",
     )
-    from repro.cli import ARTIFACTS, build_parser
+    assert checker.check_file(doc, checker.cli_tables()) == []
 
-    artifacts = set(ARTIFACTS) | {"all"}
-    flags = {opt for action in build_parser()._actions for opt in action.option_strings}
-    assert checker.check_file(doc, artifacts, flags) == []
+
+def test_checker_keeps_the_two_cli_grammars_apart(tmp_path):
+    """A scenario name or --set outside run-scenario is still invalid,
+    and run-scenario only accepts registered scenario names."""
+    checker = _load_checker()
+    doc = tmp_path / "mixed.md"
+    doc.write_text(
+        "`python -m repro focused-vs-roni`\n"               # scenario name w/o command
+        "`python -m repro figure1 --set folds=2`\n"          # --set on artifact grammar
+        "`python -m repro run-scenario no-such-scenario`\n"  # unregistered name
+        "`python -m repro run-scenario figure1-dictionary --bogus 1`\n",
+        encoding="utf-8",
+    )
+    problems = checker.check_file(doc, checker.cli_tables())
+    assert len(problems) == 4, problems

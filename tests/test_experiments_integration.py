@@ -27,7 +27,7 @@ from repro.experiments.threshold_exp import (
 
 
 @pytest.fixture(scope="module")
-def dictionary_result():
+def dictionary_result(suite_workers):
     config = DictionaryExperimentConfig(
         inbox_size=600,
         folds=2,
@@ -35,6 +35,7 @@ def dictionary_result():
         corpus_spam=450,
         attack_fractions=(0.0, 0.01, 0.05, 0.10),
         seed=5,
+        workers=suite_workers,
     )
     return run_dictionary_experiment(config)
 
@@ -82,7 +83,7 @@ class TestFigure1Shape:
 
 
 @pytest.fixture(scope="module")
-def focused_config():
+def focused_config(suite_workers):
     return FocusedExperimentConfig(
         inbox_size=500,
         n_targets=8,
@@ -92,6 +93,7 @@ def focused_config():
         corpus_spam=450,
         size_sweep_fractions=(0.0, 0.01, 0.03, 0.06, 0.10),
         seed=5,
+        workers=suite_workers,
     )
 
 
@@ -133,7 +135,7 @@ class TestFigure3Shape:
 
 class TestRoniShape:
     @pytest.fixture(scope="class")
-    def roni_result(self):
+    def roni_result(self, suite_workers):
         config = RoniExperimentConfig(
             pool_size=160,
             n_nonattack_spam=20,
@@ -141,6 +143,7 @@ class TestRoniShape:
             corpus_ham=250,
             corpus_spam=250,
             seed=5,
+            workers=suite_workers,
         )
         return run_roni_experiment(config)
 
@@ -161,7 +164,7 @@ class TestRoniShape:
 
 class TestFigure5Shape:
     @pytest.fixture(scope="class")
-    def threshold_result(self):
+    def threshold_result(self, suite_workers):
         config = ThresholdExperimentConfig(
             inbox_size=500,
             folds=2,
@@ -169,6 +172,7 @@ class TestFigure5Shape:
             corpus_spam=400,
             attack_fractions=(0.0, 0.01, 0.05),
             seed=5,
+            workers=suite_workers,
         )
         return run_threshold_experiment(config)
 

@@ -12,7 +12,12 @@ Checked, across ``README.md`` and every ``docs/*.md``:
   top-level source directory) must exist on disk;
 * **CLI invocations** — every ``python -m repro <artifact> …`` mention
   must name subcommands that :data:`repro.cli.ARTIFACTS` actually
-  registers (or ``all``), and flags it actually defines.
+  registers (or ``all``), and flags the artifact parser defines.
+  ``python -m repro run-scenario <name> …`` is its own grammar: the
+  word after the command must be a registered scenario name and flags
+  are checked against the run-scenario parser — a scenario name or
+  ``--set`` outside a ``run-scenario`` invocation is still flagged,
+  exactly as the real CLI would reject it.
 
 Run directly (``make docs-check``)::
 
@@ -49,7 +54,46 @@ def looks_like_repo_path(span: str) -> bool:
     return "/" in span and span.endswith(PATH_EXTENSIONS)
 
 
-def check_file(doc: Path, cli_artifacts: set[str], cli_flags: set[str]) -> list[str]:
+def check_cli_invocation(doc: Path, words: list[str], cli: dict) -> list[str]:
+    """Validate one ``python -m repro …`` word sequence.
+
+    Two grammars, mirroring the real CLI's dispatch: scenario commands
+    (``run-scenario <scenario-name> [scenario flags]``,
+    ``list-scenarios``) and the artifact grammar (artifact names +
+    artifact flags).  Words valid in one grammar are *not* accepted in
+    the other.
+    """
+    problems: list[str] = []
+    if words and words[0] == "run-scenario":
+        valid_words, valid_flags = cli["scenario_names"], cli["scenario_flags"]
+        words = words[1:]
+    elif words and words[0] == "list-scenarios":
+        valid_words, valid_flags = set(), {"-h", "--help"}
+        words = words[1:]
+    else:
+        valid_words, valid_flags = cli["artifacts"], cli["artifact_flags"]
+    seen_flag = False
+    skip_value = False
+    for word in words:
+        if skip_value:  # the previous word was a value-taking flag
+            skip_value = False
+            continue
+        if word.startswith("--"):
+            seen_flag = True
+            flag = word.split("=", 1)[0]
+            if flag not in valid_flags:
+                problems.append(f"{doc.name}: unknown CLI flag {flag!r}")
+            skip_value = "=" not in word
+            continue
+        if seen_flag or word.endswith(("…", "...")):
+            continue  # flag values / elided continuations in prose
+        if word not in valid_words:
+            problems.append(f"{doc.name}: unknown CLI subcommand {word!r}")
+            break  # everything after an unknown word is its args
+    return problems
+
+
+def check_file(doc: Path, cli: dict) -> list[str]:
     problems: list[str] = []
     text = doc.read_text(encoding="utf-8")
 
@@ -69,49 +113,53 @@ def check_file(doc: Path, cli_artifacts: set[str], cli_flags: set[str]) -> list[
             problems.append(f"{doc.name}: referenced path {span!r} does not exist")
 
     for match in CLI_CALL.finditer(text):
-        seen_flag = False
-        skip_value = False
-        for word in match.group(1).split():
-            if skip_value:  # the previous word was a value-taking flag
-                skip_value = False
-                continue
-            if word.startswith("--"):
-                seen_flag = True
-                flag = word.split("=", 1)[0]
-                if flag not in cli_flags:
-                    problems.append(f"{doc.name}: unknown CLI flag {flag!r}")
-                skip_value = "=" not in word
-                continue
-            if seen_flag or word.endswith(("…", "...")):
-                continue  # flag values / elided continuations in prose
-            if word not in cli_artifacts:
-                problems.append(f"{doc.name}: unknown CLI subcommand {word!r}")
-                break  # everything after an unknown word is its args
+        problems.extend(check_cli_invocation(doc, match.group(1).split(), cli))
     return problems
 
 
-def main() -> int:
-    from repro.cli import ARTIFACTS, build_parser
-
-    cli_artifacts = set(ARTIFACTS) | {"all"}
-    cli_flags = {
-        option
-        for action in build_parser()._actions
-        for option in action.option_strings
+def _flags_of(parser) -> set[str]:
+    return {
+        option for action in parser._actions for option in action.option_strings
     }
+
+
+def cli_tables() -> dict:
+    """The live CLI grammar :func:`check_file` validates against.
+
+    One construction point, shared with ``tests/test_docs_links.py``:
+    scenario names are valid only directly after ``run-scenario``,
+    mirroring the real dispatch, and they are read from the live
+    registry — docs cannot name an unregistered scenario.
+    """
+    from repro.cli import ARTIFACTS, build_parser, build_run_scenario_parser
+    from repro.scenarios import scenario_names
+
+    return {
+        "artifacts": set(ARTIFACTS) | {"all"},
+        "artifact_flags": _flags_of(build_parser()),
+        "scenario_names": set(scenario_names()),
+        "scenario_flags": _flags_of(build_run_scenario_parser()),
+    }
+
+
+def main() -> int:
+    cli = cli_tables()
     problems: list[str] = []
     for name in DOC_FILES:
         doc = REPO_ROOT / name
         if not doc.exists():
             problems.append(f"expected documentation file missing: {name}")
             continue
-        problems.extend(check_file(doc, cli_artifacts, cli_flags))
+        problems.extend(check_file(doc, cli))
     if problems:
         print(f"docs-check: {len(problems)} problem(s)")
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    print(f"docs-check: OK ({len(DOC_FILES)} files, CLI artifacts: {sorted(cli_artifacts)})")
+    print(
+        f"docs-check: OK ({len(DOC_FILES)} files, CLI artifacts: "
+        f"{sorted(cli['artifacts'])}, scenarios: {sorted(cli['scenario_names'])})"
+    )
     return 0
 
 
