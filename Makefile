@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-core bench-scenario docs-check check
+.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication docs-check check
 
 # Tier-1 gate: the full test suite, fail-fast.
 test:
@@ -20,6 +20,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_sweep.py --scale smoke --workers 2
 	$(PYTHON) benchmarks/bench_classifier_core.py --scale smoke
 	$(PYTHON) benchmarks/bench_scenario_overhead.py --scale smoke
+	$(PYTHON) benchmarks/bench_replication.py --scale smoke --workers 2
 
 # The classifier-core micro-benchmarks at the default (1/10) scale;
 # writes benchmarks/results/BENCH_classifier_core.json.
@@ -30,6 +31,12 @@ bench-core:
 # scale; appends to benchmarks/results/BENCH_scenario.json.
 bench-scenario:
 	$(PYTHON) benchmarks/bench_scenario_overhead.py --scale small
+
+# Flattened (seed x spec x fold) replication pool vs the naive
+# sequential seed loop, records asserted identical; appends to
+# benchmarks/results/BENCH_replication.json.
+bench-replication:
+	$(PYTHON) benchmarks/bench_replication.py --scale small --workers 2
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

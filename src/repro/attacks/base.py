@@ -221,7 +221,19 @@ class Attack(abc.ABC):
 
     @abc.abstractmethod
     def generate(self, count: int, rng: random.Random) -> AttackBatch:
-        """Produce ``count`` attack messages."""
+        """Produce ``count`` attack messages.
+
+        Contract every implementation honours (and
+        ``tests/test_attacks_base.py`` pins for each attack class):
+        ``count == 0`` yields an **empty batch** — zero groups, zero
+        messages, nothing drawn from ``rng`` beyond what batch
+        construction needs — because a contamination sweep whose
+        fractions include ``0.0`` (the clean-baseline point) computes
+        an attack count of zero for it, and the
+        :class:`AttackMessageGroup` invariant (``count >= 1``) forbids
+        padding with zero-count groups.  Negative counts raise
+        :class:`AttackError`.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

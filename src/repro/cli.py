@@ -9,6 +9,7 @@ Usage::
     python -m repro all --out results/
     python -m repro list-scenarios
     python -m repro run-scenario focused-vs-roni --set pool_size=200
+    python -m repro replicate dictionary-vs-none --seeds 8 --workers 4
 
 Each artifact command runs the corresponding experiment driver, prints
 the rendered artifact (data table + ASCII figure), and — with
@@ -20,6 +21,14 @@ registered scenario through the generic executor, with ``--set
 key=value`` overriding individual config fields (values are parsed as
 Python literals, e.g. ``--set "attack_fractions=(0.0, 0.05)"``, with a
 plain-string fallback).
+
+``replicate <name> --seeds N`` runs a scenario at N derived root seeds
+through :func:`repro.scenarios.replicate_scenario` and prints the
+pooled error-bar table (per-x mean, std and 95% CI over seeds for
+every rate).  With ``--workers N`` the (seed × spec × fold) work
+flattens into one shared worker pool; the output — and the ``--out``
+JSON record — is byte-identical at any worker count and any
+``PYTHONHASHSEED``.
 
 ``--workers N`` fans the experiment's independent units (folds,
 repetitions, targets) out over N processes through
@@ -142,7 +151,7 @@ ARTIFACTS: dict[str, Callable] = {
 example; they need no sweep, only a rendered analysis.)"""
 
 
-SCENARIO_COMMANDS: tuple[str, ...] = ("list-scenarios", "run-scenario")
+SCENARIO_COMMANDS: tuple[str, ...] = ("list-scenarios", "run-scenario", "replicate")
 """Registry-facing subcommands, dispatched ahead of artifact parsing."""
 
 _SCENARIO_RENDERERS: dict[str, Callable] = {
@@ -226,6 +235,20 @@ def _main_list_scenarios() -> int:
     return 0
 
 
+def _paper_scale_config(spec, overrides: dict, *, seed: int, workers: int) -> Any:
+    """The ``--scale paper`` config: the config type's ``paper_scale()``
+    factory, with the spec's defaults and the user's overrides applied
+    on top.  Shared by ``run-scenario`` and ``replicate``."""
+    factory = getattr(spec.config_type, "paper_scale", None)
+    if factory is None:
+        raise ScenarioError(
+            f"scenario {spec.name!r} has no paper-scale configuration "
+            f"({spec.config_type.__name__} defines no paper_scale())"
+        )
+    base = factory(seed=seed, workers=workers)
+    return dataclasses.replace(base, **{**dict(spec.defaults), **overrides})
+
+
 def _scenario_config(spec, args) -> Any:
     """Materialize the config a ``run-scenario`` invocation asked for."""
     overrides = dict(args.overrides)
@@ -233,14 +256,9 @@ def _scenario_config(spec, args) -> Any:
     # registry's field listing, never a raw dataclass TypeError.
     spec.validate_overrides(overrides)
     if args.scale == "paper":
-        factory = getattr(spec.config_type, "paper_scale", None)
-        if factory is None:
-            raise ScenarioError(
-                f"scenario {spec.name!r} has no paper-scale configuration "
-                f"({spec.config_type.__name__} defines no paper_scale())"
-            )
-        base = factory(seed=args.seed, workers=args.workers)
-        config = dataclasses.replace(base, **{**dict(spec.defaults), **overrides})
+        config = _paper_scale_config(
+            spec, overrides, seed=args.seed, workers=args.workers
+        )
     else:
         merged = dict(overrides)
         merged.setdefault("seed", args.seed)
@@ -286,6 +304,115 @@ def _main_run_scenario(argv: list[str]) -> int:
         (args.out / f"{spec.name}.txt").write_text(text + "\n", encoding="utf-8")
         if outcome.record is not None:
             save_record(outcome.record, args.out / f"{spec.name}.json")
+    return 0
+
+
+def build_replicate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro replicate",
+        description="Run a registered scenario at N root seeds and pool "
+        "the results with error bars (mean, std, 95% CI per curve point). "
+        "Replica seeds derive from --seed; the record lists them, so any "
+        "replica can be reproduced standalone with 'repro run-scenario'.",
+    )
+    parser.add_argument("name", help="registered scenario name")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=8,
+        help="number of replica seeds to pool (default 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed the replica seeds derive from"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        type=_parse_override,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one config field on every replica (repeatable); "
+        "values parse as Python literals with a plain-string fallback",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="small = the config's defaults; paper = the config's "
+        "paper_scale() factory (when it defines one)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        help="shared worker-pool size; the (seed x spec x fold) tasks of "
+        "all replicas flatten into it (default 1 = sequential, 0 = one "
+        "per CPU; output is identical at any value)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="file for the pooled JSON record (byte-identical across "
+        "runs, worker counts and hash seeds)",
+    )
+    return parser
+
+
+def _main_replicate(argv: list[str]) -> int:
+    from repro.scenarios import get_scenario, replicate_scenario
+
+    args = build_replicate_parser().parse_args(argv)
+    try:
+        if args.seeds < 1:
+            raise ScenarioError(f"--seeds must be >= 1, got {args.seeds}")
+        spec = get_scenario(args.name)
+        overrides = dict(args.overrides)
+        # seed/workers are replication-owned here: each replica's config
+        # gets its derived seed and the pool's worker count.
+        for reserved in ("seed", "workers"):
+            if reserved in overrides:
+                raise ScenarioError(
+                    f"--set {reserved}=... conflicts with replication; "
+                    f"use --{reserved} instead"
+                )
+        spec.validate_overrides(overrides)
+        base_config = None
+        # The record must carry everything needed to re-run a replica
+        # standalone: the scale, and — on the paper path, where the
+        # overrides are folded into base_config — the overrides too.
+        extra_config = {"scale": args.scale}
+        if args.scale == "paper":
+            # seed/workers are placeholders — replication replaces both
+            # per replica.
+            base_config = _paper_scale_config(spec, overrides, seed=0, workers=1)
+            extra_config["overrides"] = dict(sorted(overrides.items()))
+            overrides = {}
+        print(
+            f"=== replicate {spec.name} (scale={args.scale}, seeds={args.seeds}, "
+            f"base_seed={args.seed}) ==="
+        )
+        record = replicate_scenario(
+            spec,
+            seeds=args.seeds,
+            base_seed=args.seed,
+            overrides=overrides or None,
+            workers=args.workers,
+            base_config=base_config,
+            extra_config=extra_config,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.experiments.reporting import render_replicated_record
+
+    print(render_replicated_record(record))
+    if args.out is not None:
+        if args.out.parent != Path("."):
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+        save_record(record, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -346,6 +473,8 @@ def main(argv: list[str] | None = None) -> int:
         return _main_list_scenarios()
     if argv and argv[0] == "run-scenario":
         return _main_run_scenario(argv[1:])
+    if argv and argv[0] == "replicate":
+        return _main_replicate(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(ARTIFACTS) if "all" in args.artifacts else list(dict.fromkeys(args.artifacts))
     if args.out is not None:

@@ -15,14 +15,20 @@ those units across worker processes without changing a single result:
 * :mod:`repro.engine.sweep` — the K-fold attack-sweep engine behind
   Figures 1 and 5: fold models derived from one shared full-inbox
   classifier by snapshot/unlearn/restore, deterministic fold fan-out,
-  bulk scoring via :meth:`Classifier.score_many`.
+  bulk scoring via :meth:`Classifier.score_many`;
+* :mod:`repro.engine.replicate` — multi-seed replication: the same
+  scenario at N root seeds, flattened into one shared
+  :class:`WorkerPool` (no per-seed barrier), pooled into a
+  :class:`~repro.experiments.results.ReplicatedRecord` with per-point
+  mean/std/95%-CI error bars.  (Imported lazily by
+  :mod:`repro.scenarios`, which re-exports ``replicate_scenario``.)
 
 Every experiment driver accepts ``workers`` in its config (surfaced as
 ``--workers N`` on the CLI).  The default of 1 runs everything in the
 parent process; any other value changes wall-clock time only.
 """
 
-from repro.engine.runner import ParallelRunner, resolve_workers
+from repro.engine.runner import ParallelRunner, WorkerPool, resolve_workers, use_worker_pool
 from repro.engine.seeding import drawn_seeds, resolve_root_seed
 from repro.engine.sweep import (
     AttackSweepPoint,
@@ -39,7 +45,9 @@ from repro.engine.sweep import (
 
 __all__ = [
     "ParallelRunner",
+    "WorkerPool",
     "resolve_workers",
+    "use_worker_pool",
     "drawn_seeds",
     "resolve_root_seed",
     "AttackSweepPoint",

@@ -21,17 +21,49 @@ reference) of signature ``fn(context, task) -> result``.  Tasks and
 results cross process boundaries, so they must pickle; everything the
 experiment layer ships (datasets, classifiers, attacks, confusion
 counts) does.
+
+Shared pools
+------------
+
+A plain ``ParallelRunner.map`` owns its pool: it forks workers, runs
+its tasks, and tears the pool down — correct for one experiment, but a
+*replication* (the same scenario at N seeds,
+:mod:`repro.engine.replicate`) would pay pool startup N·(maps per run)
+times and, worse, leave every worker idle while the parent prepares
+the next seed's corpus.  :class:`WorkerPool` is the alternative: one
+persistent process pool that any number of ``map`` calls — issued from
+any number of parent threads — drain into concurrently.  Activating it
+(:func:`use_worker_pool`, thread-local) reroutes every
+``ParallelRunner.map`` on that thread into the shared pool, so fold
+tasks from many seeds interleave in one worker set with no per-seed
+barrier.  Results are unchanged by construction: each ``map`` still
+returns its own results in its own task order, and per-task seeds never
+depend on scheduling.
+
+Because one pool serves many ``(fn, context)`` pairs, contexts cannot
+ride the pool initializer.  Instead each ``map`` call pickles its
+``(fn, context)`` pair once into a blob, splits its tasks into
+``min(workers, tasks)`` contiguous chunks, and submits each chunk with
+the blob attached; workers unpickle the pair once per (worker,
+map-call) and serve the rest of the call from a small cache.  Context
+transfer count therefore matches the private-pool initializer path
+exactly, while chunks from concurrent calls still interleave freely in
+the shared worker set.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any, Callable, Sequence, TypeVar
+import pickle
+import threading
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence, TypeVar
 
 from repro.errors import EngineError
 
-__all__ = ["ParallelRunner", "resolve_workers"]
+__all__ = ["ParallelRunner", "WorkerPool", "resolve_workers", "use_worker_pool"]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -61,6 +93,189 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+# ----------------------------------------------------------------------
+# The shared worker pool
+# ----------------------------------------------------------------------
+
+# Worker-side cache of unpickled (fn, context) pairs, keyed by map-call
+# token, in LRU order.  A replication keeps at most (parent threads,
+# i.e. pool width) calls in flight, so the pool sizes the cache from
+# its own width at worker startup (via the initializer) — the live set
+# always fits, while finished calls' contexts — potentially a whole
+# tokenized inbox plus trained model — roll out instead of staying
+# pinned in every worker for the pool's lifetime.  Evicting a
+# still-live entry is only a re-unpickle, never an error.
+_shared_entries: "OrderedDict[tuple[int, int], tuple[Callable, Any]]" = OrderedDict()
+_shared_entry_slots = 8
+
+
+def _initialize_shared_worker(slots: int) -> None:
+    global _shared_entry_slots
+    _shared_entry_slots = slots
+
+
+def _run_shared_chunk(
+    token: tuple[int, int], blob: bytes, start: int, tasks: Sequence[Any]
+) -> tuple[int, list[Any]]:
+    entry = _shared_entries.get(token)
+    if entry is None:
+        entry = pickle.loads(blob)
+        _shared_entries[token] = entry
+        while len(_shared_entries) > _shared_entry_slots:
+            _shared_entries.popitem(last=False)
+    else:
+        _shared_entries.move_to_end(token)
+    fn, context = entry
+    return start, [fn(context, task) for task in tasks]
+
+
+def _chunked(tasks: Sequence[Any], chunks: int) -> Iterator[tuple[int, Sequence[Any]]]:
+    """Split tasks into ``chunks`` contiguous, near-equal runs.
+
+    Deterministic and order-preserving: chunk boundaries depend only on
+    ``(len(tasks), chunks)``, and reassembling the chunk results by
+    start index reproduces task order exactly.
+    """
+    n = len(tasks)
+    chunks = min(chunks, n)
+    base, extra = divmod(n, chunks)
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        yield start, tasks[start : start + size]
+        start += size
+
+
+class WorkerPool:
+    """A persistent process pool shared by many ``map`` calls.
+
+    Create one, activate it per thread with :func:`use_worker_pool`,
+    and every ``ParallelRunner.map`` issued on that thread routes into
+    it instead of forking a private pool.  The pool outlives any single
+    ``map``, which is the point: concurrent maps (one per replica
+    thread of a replication) keep all workers busy across the gaps
+    where a single experiment would be doing parent-side preparation.
+
+    Results are identical to private-pool (and sequential) execution:
+    each call's results come back in its own task order, and nothing a
+    worker computes depends on which pool ran it.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        if self.workers < 2:
+            raise EngineError(
+                f"a shared WorkerPool needs >= 2 workers, got {self.workers}; "
+                "run sequentially instead"
+            )
+        self._executor: Executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_initialize_shared_worker,
+            # Live map calls ≈ replica threads ≈ pool width; headroom
+            # keeps a just-finished call's context warm for its last
+            # straggler chunks.
+            initargs=(self.workers + 4,),
+        )
+        # Start the pool NOW, while only the constructing thread
+        # exists.  Stock ProcessPoolExecutor starts lazily on first
+        # submit — which for a shared pool would mean forking workers
+        # from a replica thread, the classic fork-with-threads deadlock
+        # setup.  This is the exact hook submit() itself calls: on the
+        # fork start method it launches every worker process and the
+        # manager thread together.  It is private API; if it
+        # disappears, the pool degrades to stock lazy start rather
+        # than breaking.
+        start = getattr(self._executor, "_start_executor_manager_thread", None)
+        if start is not None:
+            start()
+        self._lock = threading.Lock()
+        self._next_token = 0
+        self._closed = False
+
+    def _token(self) -> tuple[int, int]:
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+        return (os.getpid(), token)
+
+    def run(
+        self,
+        fn: Callable[[Any, TaskT], ResultT],
+        context: Any,
+        tasks: Sequence[TaskT],
+    ) -> list[ResultT]:
+        """One ``map`` call's worth of tasks through the shared pool.
+
+        The ``(fn, context)`` pair is pickled exactly once; the tasks
+        go out as ``min(workers, tasks)`` contiguous chunks carrying
+        the blob (workers cache the unpickled pair per call token, so
+        the unpickle cost is once per worker, like the initializer
+        path).  A chunk exception propagates and cancels this call's
+        remaining chunks — other concurrent calls are untouched.
+        """
+        if self._closed:
+            raise EngineError("WorkerPool is closed")
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        token = self._token()
+        blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
+        futures = [
+            self._executor.submit(_run_shared_chunk, token, blob, start, chunk)
+            for start, chunk in _chunked(tasks, self.workers)
+        ]
+        results: list[Any] = [None] * len(tasks)
+        try:
+            for future in as_completed(futures):
+                start, chunk_results = future.result()
+                results[start : start + len(chunk_results)] = chunk_results
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return f"WorkerPool(workers={self.workers}, {state})"
+
+
+_active_pool = threading.local()
+
+
+@contextmanager
+def use_worker_pool(pool: WorkerPool | None) -> Iterator[WorkerPool | None]:
+    """Route this thread's ``ParallelRunner.map`` calls into ``pool``.
+
+    Thread-local and re-entrant: each replica thread of a replication
+    activates the one shared pool for the duration of its scenario run;
+    other threads (and code outside the ``with``) are unaffected.
+    ``None`` deactivates routing within the block.
+    """
+    previous = getattr(_active_pool, "pool", None)
+    _active_pool.pool = pool
+    try:
+        yield pool
+    finally:
+        _active_pool.pool = previous
+
+
+def _current_pool() -> WorkerPool | None:
+    return getattr(_active_pool, "pool", None)
+
+
 class ParallelRunner:
     """Maps ``fn(context, task)`` over tasks, optionally in a process pool."""
 
@@ -79,10 +294,19 @@ class ParallelRunner:
         traceback rendered by ``concurrent.futures``) and cancels every
         task still queued, so a failed sweep dies promptly instead of
         burning through the rest of the fan-out first.
+
+        When a shared :class:`WorkerPool` is active on this thread
+        (:func:`use_worker_pool`) and this runner would have gone
+        parallel, the tasks drain into the shared pool instead of a
+        private one — same results, no pool startup, and idle shared
+        workers can pick the tasks up immediately.
         """
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1:
             return [fn(context, task) for task in tasks]
+        pool = _current_pool()
+        if pool is not None:
+            return pool.run(fn, context, tasks)
         results: list[Any] = [None] * len(tasks)
         max_workers = min(self.workers, len(tasks))
         with ProcessPoolExecutor(

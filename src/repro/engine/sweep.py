@@ -222,7 +222,14 @@ class _BatchTrainerBase:
         raise NotImplementedError
 
     def advance_to(self, target: int) -> None:
-        """Train messages until ``target`` of the batch are in effect."""
+        """Train messages until ``target`` of the batch are in effect.
+
+        ``advance_to(0)`` is an explicit no-op — the clean-baseline
+        point of a ``(0.0, ...)`` sweep trains nothing, even when the
+        batch itself is empty (``attack.generate(0, rng)``).
+        """
+        if target == self.trained:
+            return
         if target < self.trained:
             raise ExperimentError(
                 f"attack sweep must be ascending: asked for {target} after {self.trained}"

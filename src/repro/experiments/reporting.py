@@ -15,6 +15,7 @@ from repro.analysis.plots import ascii_bar_chart, ascii_line_chart
 from repro.experiments.dictionary_exp import DictionaryExperimentResult
 from repro.experiments.focused_exp import FocusedKnowledgeResult, FocusedSizeResult
 from repro.experiments.params import TABLE1, Table1Row
+from repro.experiments.results import RateStats, ReplicatedRecord
 from repro.experiments.roni_exp import RoniExperimentResult
 from repro.experiments.threshold_exp import ThresholdExperimentResult
 
@@ -24,6 +25,7 @@ __all__ = [
     "render_dictionary_result",
     "render_focused_knowledge_result",
     "render_focused_size_result",
+    "render_replicated_record",
     "render_roni_result",
     "render_threshold_result",
 ]
@@ -176,6 +178,64 @@ def render_roni_result(result: RoniExperimentResult) -> str:
         f"{result.config.roni.validation_size}-message validation set)"
     )
     return format_table(headers, rows) + summary
+
+
+def _error_bar(stats: RateStats) -> str:
+    """``mean ±ci95`` as percentages — the error-bar cell."""
+    return f"{stats.mean:7.1%} ±{stats.ci95:.1%}"
+
+
+def render_replicated_record(record: ReplicatedRecord) -> str:
+    """A pooled multi-seed record: error-bar table plus mean curves.
+
+    Works for any scenario — the columns are the canonical rates, the
+    rows every (series, x) cell, each rendered as ``mean ±ci95`` over
+    the replica seeds (Student-t 95% interval) with the sample std
+    alongside.  Scenarios whose record carries no series (the RONI
+    gate's distribution record) render the replica summary line only.
+    """
+    n = record.n_replicas
+    header = (
+        f"{record.experiment}: pooled over {n} seed(s)"
+        + (f", scenario {record.config['scenario']}" if "scenario" in record.config else "")
+    )
+    if not record.stats:
+        return header + "\n(no curve series to pool; see per-replica records)"
+    headers = [
+        "series",
+        "x",
+        "ham-as-spam",
+        "ham-as-spam|unsure",
+        "spam-as-spam",
+        "spam-as-unsure",
+        "std(ham|unsure)",
+    ]
+    rows = []
+    chart_series: dict[str, list[tuple[float, float]]] = {}
+    for stats in record.stats:
+        for point in stats.points:
+            rows.append(
+                [
+                    stats.name,
+                    f"{point.x:g}",
+                    _error_bar(point.rate("ham_as_spam_rate")),
+                    _error_bar(point.rate("ham_misclassified_rate")),
+                    _error_bar(point.rate("spam_as_spam_rate")),
+                    _error_bar(point.rate("spam_as_unsure_rate")),
+                    f"{point.rate('ham_misclassified_rate').std:.3f}",
+                ]
+            )
+        chart_series[stats.name] = [
+            (point.x, point.rate("ham_misclassified_rate").mean)
+            for point in stats.points
+        ]
+    chart = ascii_line_chart(
+        chart_series,
+        title=f"{record.experiment}: mean over {n} seeds (±95% CI in table)",
+        x_label="x",
+        y_label="mean rate",
+    )
+    return header + "\n\n" + format_table(headers, rows) + "\n\n" + chart
 
 
 def render_threshold_result(result: ThresholdExperimentResult) -> str:

@@ -18,8 +18,17 @@ the same path from a shell.  Adding a new composition is a ~20-line
 :func:`register_scenario` call — see
 :mod:`repro.scenarios.builtin` for the catalogue and
 ``docs/experiments.md`` for a how-to.
+
+Any registered scenario also replicates over seeds with zero
+per-scenario code: :func:`replicate_scenario` (the
+:mod:`repro.engine.replicate` layer, re-exported here; CLI
+``python -m repro replicate <name> --seeds N``) runs it at N derived
+root seeds — flattened into one shared worker pool — and pools the
+records into a :class:`~repro.experiments.results.ReplicatedRecord`
+with per-point mean/std/95%-CI error bars.
 """
 
+from repro.engine.replicate import replica_seeds, replicate_scenario
 from repro.scenarios.builtin import BUILTIN_SCENARIOS, register_builtin_scenarios
 from repro.scenarios.executor import ScenarioOutcome, run_scenario
 from repro.scenarios.protocols import PROTOCOLS, PreparedInbox, prepare_inbox
@@ -44,6 +53,8 @@ __all__ = [
     "prepare_inbox",
     "register_builtin_scenarios",
     "register_scenario",
+    "replica_seeds",
+    "replicate_scenario",
     "run_scenario",
     "scenario_names",
 ]

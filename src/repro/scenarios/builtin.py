@@ -116,6 +116,19 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         "misses colloquial ham vocabulary?",
     ),
     ScenarioSpec(
+        name="dictionary-vs-none",
+        title="Undefended baseline: the usenet dictionary attack, no defense",
+        protocol="dictionary-sweep",
+        config_type=DictionaryExperimentConfig,
+        defaults={"variants": ("usenet",)},
+        attack_grid=("usenet",),
+        metrics=("ham_as_spam_rate", "ham_misclassified_rate"),
+        description="The single-variant undefended contamination sweep — "
+        "the control arm every defense scenario is compared against, and "
+        "the standard subject of multi-seed replications "
+        "(repro replicate dictionary-vs-none --seeds 8).",
+    ),
+    ScenarioSpec(
         name="focused-vs-roni",
         title="RONI gate vs the targeted focused attack",
         protocol="roni-gate",

@@ -370,10 +370,11 @@ class Classifier:
 
         Duplicate tokens are collapsed; every distinct token's class
         count is incremented along with the global message count.
+        Interning goes through :meth:`TokenTable.encode_unique`, so new
+        tokens get IDs in sorted text order — the table layout never
+        depends on set iteration order (``PYTHONHASHSEED``).
         """
-        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
-        intern = self._table.intern
-        ids = [intern(token) for token in unique]
+        ids = self._table.encode_unique(tokens)
         if is_spam:
             self._nspam += 1
         else:
@@ -402,9 +403,7 @@ class Classifier:
         is performed *before* any count is touched, so a failed unlearn
         leaves the classifier unchanged.
         """
-        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
-        intern = self._table.intern
-        self.unlearn_ids([intern(token) for token in unique], is_spam)
+        self.unlearn_ids(self._table.encode_unique(tokens), is_spam)
 
     def unlearn_ids(self, ids: Sequence[int], is_spam: bool) -> None:
         """:meth:`unlearn` for a pre-encoded message (see :meth:`learn_ids`)."""
@@ -438,9 +437,7 @@ class Classifier:
         The resulting state is exactly what ``count`` calls to
         :meth:`learn` would produce.
         """
-        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
-        intern = self._table.intern
-        self.learn_ids_repeated([intern(token) for token in unique], is_spam, count)
+        self.learn_ids_repeated(self._table.encode_unique(tokens), is_spam, count)
 
     def learn_ids_repeated(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
         """:meth:`learn_repeated` for a pre-encoded message."""
@@ -459,9 +456,7 @@ class Classifier:
 
         Validates before mutating, like :meth:`unlearn`.
         """
-        unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
-        intern = self._table.intern
-        self.unlearn_ids_repeated([intern(token) for token in unique], is_spam, count)
+        self.unlearn_ids_repeated(self._table.encode_unique(tokens), is_spam, count)
 
     def unlearn_ids_repeated(self, ids: Sequence[int], is_spam: bool, count: int) -> None:
         """:meth:`unlearn_repeated` for a pre-encoded message."""
@@ -529,6 +524,63 @@ class Classifier:
                 active -= 1
         self._active = active
         self._note_mutation(ids)
+
+    @classmethod
+    def from_token_counts(
+        cls,
+        counts: Iterable[tuple[str, int, int]],
+        *,
+        nspam: int,
+        nham: int,
+        options: ClassifierOptions = DEFAULT_OPTIONS,
+        table: TokenTable | None = None,
+    ) -> "Classifier":
+        """Build a classifier from per-token ``(token, spamcount,
+        hamcount)`` records plus the global message counts.
+
+        This is the supported bulk-load path (persistence restores
+        through it): tokens are interned in the order given, counts
+        land in the columns through the same bookkeeping training uses,
+        and the memo/dirty/active invariants hold afterwards — callers
+        never need to poke ``_spam``/``_ham`` directly.  Counts must be
+        non-negative and each token may appear at most once.
+        """
+        if nspam < 0 or nham < 0:
+            raise TrainingError(
+                f"bulk load needs nspam/nham >= 0, got {nspam}/{nham}"
+            )
+        classifier = cls(options, table=table)
+        intern = classifier._table.intern
+        spam_pairs: list[tuple[int, int]] = []
+        ham_pairs: list[tuple[int, int]] = []
+        seen: set[int] = set()
+        for token, spamcount, hamcount in counts:
+            if spamcount < 0 or hamcount < 0:
+                raise TrainingError(
+                    f"bulk load needs counts >= 0, got {token!r}: "
+                    f"({spamcount}, {hamcount})"
+                )
+            tid = intern(token)
+            if tid in seen:
+                raise TrainingError(f"bulk load saw token {token!r} twice")
+            seen.add(tid)
+            if spamcount:
+                spam_pairs.append((tid, spamcount))
+            if hamcount:
+                ham_pairs.append((tid, hamcount))
+        classifier._nspam = nspam
+        classifier._nham = nham
+        classifier._ensure_columns()
+        spam_col = classifier._spam
+        ham_col = classifier._ham
+        for tid, count in spam_pairs:
+            spam_col[tid] = count
+        for tid, count in ham_pairs:
+            ham_col[tid] = count
+        classifier._active = sum(
+            1 for tid in range(len(spam_col)) if spam_col[tid] or ham_col[tid]
+        )
+        return classifier
 
     # ------------------------------------------------------------------
     # Snapshot / restore

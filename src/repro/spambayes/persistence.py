@@ -1,7 +1,7 @@
 """Saving and restoring trained classifier state.
 
 The on-disk format is a single JSON document (optionally gzipped when
-the path ends in ``.gz``):
+the path ends in ``.gz``, matched case-insensitively):
 
 .. code-block:: json
 
@@ -22,20 +22,28 @@ from __future__ import annotations
 
 import gzip
 import json
-from array import array
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
-from repro.spambayes.token_table import TOKEN_ID_TYPECODE
-
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, TrainingError
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.options import ClassifierOptions
 
 __all__ = ["classifier_to_dict", "classifier_from_dict", "save_classifier", "load_classifier"]
 
 _FORMAT = "repro-spambayes-v1"
+
+
+def _is_gzip_path(path: Path) -> bool:
+    """Gzip when the suffix is ``.gz`` in any casing (``.GZ``, ``.Gz``).
+
+    The check is case-insensitive on save *and* load: a classifier
+    written to ``model.json.GZ`` must come back through the same codec,
+    not silently round-trip as plain text that a later ``.gz`` reader
+    rejects.
+    """
+    return path.suffix.lower() == ".gz"
 
 
 def classifier_to_dict(classifier: Classifier) -> dict[str, Any]:
@@ -60,41 +68,31 @@ def classifier_to_dict(classifier: Classifier) -> dict[str, Any]:
 
 
 def classifier_from_dict(data: dict[str, Any]) -> Classifier:
-    """Rebuild a classifier from :func:`classifier_to_dict` output."""
+    """Rebuild a classifier from :func:`classifier_to_dict` output.
+
+    Restores through :meth:`Classifier.from_token_counts`, the
+    supported bulk-load constructor, so a loaded classifier carries the
+    same memo/dirty/active invariants a trained one does — it can keep
+    training, snapshot, and bulk-score exactly like the classifier
+    that was saved.
+    """
     if data.get("format") != _FORMAT:
         raise PersistenceError(
             f"unsupported classifier dump format: {data.get('format')!r}"
         )
     try:
         options = ClassifierOptions(**data["options"])
-        classifier = Classifier(options)
         nspam = int(data["nspam"])
         nham = int(data["nham"])
-        words = data["words"]
-        # Interning in dump order assigns IDs 0..n-1, so the columns
-        # are simply the counts in that same order.
-        table = classifier.table
-        spam_col = array(TOKEN_ID_TYPECODE)
-        ham_col = array(TOKEN_ID_TYPECODE)
-        active = 0
-        for token, counts in words.items():
-            table.intern(token)
-            spamcount = int(counts[0])
-            hamcount = int(counts[1])
-            spam_col.append(spamcount)
-            ham_col.append(hamcount)
-            if spamcount or hamcount:
-                active += 1
-        classifier._spam = spam_col
-        classifier._ham = ham_col
-        classifier._active = active
-        classifier._nspam = nspam
-        classifier._nham = nham
-    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        counts = [
+            (token, int(pair[0]), int(pair[1]))
+            for token, pair in data["words"].items()
+        ]
+        return Classifier.from_token_counts(
+            counts, nspam=nspam, nham=nham, options=options
+        )
+    except (KeyError, TypeError, ValueError, OverflowError, TrainingError) as exc:
         raise PersistenceError(f"corrupt classifier dump: {exc}") from exc
-    if nspam < 0 or nham < 0:
-        raise PersistenceError("corrupt classifier dump: negative message counts")
-    return classifier
 
 
 def save_classifier(classifier: Classifier, path: str | Path) -> None:
@@ -102,7 +100,7 @@ def save_classifier(classifier: Classifier, path: str | Path) -> None:
     path = Path(path)
     payload = json.dumps(classifier_to_dict(classifier), separators=(",", ":"))
     try:
-        if path.suffix == ".gz":
+        if _is_gzip_path(path):
             with gzip.open(path, "wt", encoding="utf-8") as handle:
                 handle.write(payload)
         else:
@@ -115,7 +113,7 @@ def load_classifier(path: str | Path) -> Classifier:
     """Read a classifier previously written by :func:`save_classifier`."""
     path = Path(path)
     try:
-        if path.suffix == ".gz":
+        if _is_gzip_path(path):
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 payload = handle.read()
         else:

@@ -18,7 +18,16 @@ Properties the rest of the system leans on:
   processes;
 * **dense** — IDs are ``0..len(table)-1``, which is what lets the
   classifier store counts in flat ``array`` columns and memoize
-  probabilities in flat lists instead of hash tables.
+  probabilities in flat lists instead of hash tables;
+* **seed-stable layout** — when a *batch* of new tokens is interned
+  (:meth:`TokenTable.encode_unique`, the path every message, attack
+  payload and training call goes through), the new tokens are assigned
+  IDs in sorted text order.  Token sets arrive as ``set``/``frozenset``
+  objects whose iteration order depends on ``PYTHONHASHSEED``; sorting
+  before assignment makes the table layout — and everything ID-keyed
+  downstream (count columns, snapshot WALs, persisted dumps, encoded
+  arrays) — a pure function of *which* tokens were interned in *which
+  batch order*, never of string-hash randomization.
 
 Pickling ships only the token list (the dict side is rebuilt), so a
 table crosses process boundaries at the cost of its vocabulary, not
@@ -79,6 +88,13 @@ class TokenTable:
         model) and new tokens are interned.  The result is sorted by ID
         so identical token sets encode to identical arrays — grouping
         and pickling stay deterministic.
+
+        New tokens are interned in **sorted text order**, never in set
+        iteration order: ``tokens`` is usually a ``set``/``frozenset``,
+        whose iteration order varies with ``PYTHONHASHSEED``, and ID
+        assignment must not.  Sorting pins the table layout (and every
+        ID-keyed structure downstream) across runs, hash seeds and
+        worker processes.
         """
         unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
         intern = self._ids.get
@@ -90,8 +106,10 @@ class TokenTable:
                 new.append(token)
             else:
                 ids.append(tid)
-        for token in new:
-            ids.append(self.intern(token))
+        if new:
+            new.sort()
+            for token in new:
+                ids.append(self.intern(token))
         ids.sort()
         return array(TOKEN_ID_TYPECODE, ids)
 

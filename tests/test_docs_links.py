@@ -47,7 +47,8 @@ def test_checker_accepts_known_cli_usage(tmp_path):
         "`python -m repro figure2 figure3 --scale paper --seed 3 --workers 4`\n"
         "`python -m repro all --out results/`\n"
         "`python -m repro list-scenarios`\n"
-        "`python -m repro run-scenario focused-vs-roni --set pool_size=200 --seed 3`\n",
+        "`python -m repro run-scenario focused-vs-roni --set pool_size=200 --seed 3`\n"
+        "`python -m repro replicate dictionary-vs-none --seeds 8 --workers 4 --out r.json`\n",
         encoding="utf-8",
     )
     assert checker.check_file(doc, checker.cli_tables()) == []
@@ -62,8 +63,10 @@ def test_checker_keeps_the_two_cli_grammars_apart(tmp_path):
         "`python -m repro focused-vs-roni`\n"               # scenario name w/o command
         "`python -m repro figure1 --set folds=2`\n"          # --set on artifact grammar
         "`python -m repro run-scenario no-such-scenario`\n"  # unregistered name
-        "`python -m repro run-scenario figure1-dictionary --bogus 1`\n",
+        "`python -m repro run-scenario figure1-dictionary --bogus 1`\n"
+        "`python -m repro replicate figure9`\n"              # unregistered name
+        "`python -m repro replicate dictionary-vs-none --folds 2`\n",  # unknown flag
         encoding="utf-8",
     )
     problems = checker.check_file(doc, checker.cli_tables())
-    assert len(problems) == 4, problems
+    assert len(problems) == 6, problems

@@ -101,6 +101,70 @@ class TestPersistence:
         restored = load_classifier(path)
         assert restored.score({"cash"}) == original.score({"cash"})
 
+    @pytest.mark.parametrize("suffix", [".GZ", ".Gz", ".gz"])
+    def test_gzip_suffix_casing_roundtrip(self, tmp_path, suffix):
+        # .GZ must select the gzip codec exactly like .gz — silently
+        # writing plain text under a .GZ name used to make the dump
+        # unreadable by any case-normalizing reader.
+        import gzip
+
+        original = self._trained()
+        path = tmp_path / f"db.json{suffix}"
+        save_classifier(original, path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert json.load(handle)["format"] == "repro-spambayes-v1"
+        restored = load_classifier(path)
+        assert restored.score({"cash", "meeting"}) == original.score({"cash", "meeting"})
+
+    def test_loaded_classifier_keeps_training_like_the_original(self, tmp_path):
+        # Persistence restores through the supported bulk-load
+        # constructor, so a loaded classifier must behave identically
+        # to one that never went to disk — including *further* training
+        # (memo/dirty invariants) and snapshot cycling.
+        original = self._trained()
+        path = tmp_path / "db.json"
+        save_classifier(original, path)
+        restored = load_classifier(path)
+        probe = {"cash", "meeting", "fresh"}
+        for classifier in (original, restored):
+            classifier.score(probe)  # warm the memos before mutating
+            classifier.learn({"cash", "fresh", "prize"}, True)
+            classifier.unlearn({"meeting", "notes"}, False)
+            snap = classifier.snapshot()
+            classifier.learn_repeated({"prize", "offer"}, True, 5)
+            classifier.restore(snap)
+        assert restored.nspam == original.nspam
+        assert restored.nham == original.nham
+        assert restored.score(probe) == original.score(probe)
+        assert restored.score_many([probe, {"prize"}]) == original.score_many(
+            [probe, {"prize"}]
+        )
+
+    def test_bulk_load_validation(self):
+        from repro.errors import TrainingError
+
+        with pytest.raises(TrainingError):
+            Classifier.from_token_counts([("a", -1, 0)], nspam=1, nham=0)
+        with pytest.raises(TrainingError):
+            Classifier.from_token_counts(
+                [("a", 1, 0), ("a", 0, 1)], nspam=1, nham=1
+            )
+        with pytest.raises(TrainingError):
+            Classifier.from_token_counts([], nspam=-1, nham=0)
+
+    def test_bulk_load_into_shared_table(self):
+        from repro.spambayes.token_table import TokenTable
+
+        table = TokenTable(["pre", "existing"])
+        classifier = Classifier.from_token_counts(
+            [("existing", 2, 1), ("novel", 0, 3)], nspam=2, nham=3, table=table
+        )
+        assert classifier.table is table
+        assert classifier.vocabulary_size == 2
+        assert classifier.word_info("existing").spamcount == 2
+        assert classifier.word_info("novel").hamcount == 3
+        assert classifier.word_info("pre") is None
+
     def test_gzip_smaller_for_large_db(self, tmp_path):
         classifier = Classifier()
         classifier.learn({f"token{i}" for i in range(5000)}, True)

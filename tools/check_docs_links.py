@@ -13,11 +13,12 @@ Checked, across ``README.md`` and every ``docs/*.md``:
 * **CLI invocations** — every ``python -m repro <artifact> …`` mention
   must name subcommands that :data:`repro.cli.ARTIFACTS` actually
   registers (or ``all``), and flags the artifact parser defines.
-  ``python -m repro run-scenario <name> …`` is its own grammar: the
-  word after the command must be a registered scenario name and flags
-  are checked against the run-scenario parser — a scenario name or
-  ``--set`` outside a ``run-scenario`` invocation is still flagged,
-  exactly as the real CLI would reject it.
+  ``python -m repro run-scenario <name> …`` and ``python -m repro
+  replicate <name> …`` are their own grammars: the word after the
+  command must be a registered scenario name and flags are checked
+  against the respective parser — a scenario name or ``--set``
+  outside those invocations is still flagged, exactly as the real
+  CLI would reject it.
 
 Run directly (``make docs-check``)::
 
@@ -57,15 +58,19 @@ def looks_like_repo_path(span: str) -> bool:
 def check_cli_invocation(doc: Path, words: list[str], cli: dict) -> list[str]:
     """Validate one ``python -m repro …`` word sequence.
 
-    Two grammars, mirroring the real CLI's dispatch: scenario commands
-    (``run-scenario <scenario-name> [scenario flags]``,
+    Several grammars, mirroring the real CLI's dispatch: scenario
+    commands (``run-scenario <scenario-name> [scenario flags]``,
+    ``replicate <scenario-name> [replicate flags]``,
     ``list-scenarios``) and the artifact grammar (artifact names +
     artifact flags).  Words valid in one grammar are *not* accepted in
-    the other.
+    the others.
     """
     problems: list[str] = []
     if words and words[0] == "run-scenario":
         valid_words, valid_flags = cli["scenario_names"], cli["scenario_flags"]
+        words = words[1:]
+    elif words and words[0] == "replicate":
+        valid_words, valid_flags = cli["scenario_names"], cli["replicate_flags"]
         words = words[1:]
     elif words and words[0] == "list-scenarios":
         valid_words, valid_flags = set(), {"-h", "--help"}
@@ -131,7 +136,12 @@ def cli_tables() -> dict:
     mirroring the real dispatch, and they are read from the live
     registry — docs cannot name an unregistered scenario.
     """
-    from repro.cli import ARTIFACTS, build_parser, build_run_scenario_parser
+    from repro.cli import (
+        ARTIFACTS,
+        build_parser,
+        build_replicate_parser,
+        build_run_scenario_parser,
+    )
     from repro.scenarios import scenario_names
 
     return {
@@ -139,6 +149,7 @@ def cli_tables() -> dict:
         "artifact_flags": _flags_of(build_parser()),
         "scenario_names": set(scenario_names()),
         "scenario_flags": _flags_of(build_run_scenario_parser()),
+        "replicate_flags": _flags_of(build_replicate_parser()),
     }
 
 
