@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication docs-check check
+.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream docs-check check
 
 # Tier-1 gate: the full test suite, fail-fast.
 test:
@@ -21,6 +21,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_classifier_core.py --scale smoke
 	$(PYTHON) benchmarks/bench_scenario_overhead.py --scale smoke
 	$(PYTHON) benchmarks/bench_replication.py --scale smoke --workers 2
+	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --workers 2
 
 # The classifier-core micro-benchmarks at the default (1/10) scale;
 # writes benchmarks/results/BENCH_classifier_core.json.
@@ -37,6 +38,12 @@ bench-scenario:
 # benchmarks/results/BENCH_replication.json.
 bench-replication:
 	$(PYTHON) benchmarks/bench_replication.py --scale small --workers 2
+
+# Streaming engine: multi-seed streams sequential vs shared-pool,
+# records asserted identical, messages/sec reported; appends to
+# benchmarks/results/BENCH_stream.json.
+bench-stream:
+	$(PYTHON) benchmarks/bench_stream_throughput.py --scale small --workers 2
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

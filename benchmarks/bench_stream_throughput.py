@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Stream-engine throughput: messages/sec, sequential vs pooled.
+
+A stream is inherently sequential — tick ``t+1`` trains on the state
+tick ``t`` left behind — so the streaming engine's parallelism lever
+is *across* streams: under ``replicate_scenario`` each replica's
+whole stream becomes one task in the shared
+:class:`~repro.engine.runner.WorkerPool` (single-task maps route into
+an active pool since the stream engine landed), so N seeds play N
+streams concurrently instead of queueing behind one parent thread.
+
+This benchmark replays the same multi-seed stream replication two
+ways — ``workers=1`` (strictly sequential) and ``workers>=2`` (the
+shared pool) — asserts the pooled records **identical**, and reports
+throughput as messages/sec, where the message count is everything the
+engine ingests or scores: every arrival the per-tick gate saw (ham,
+spam and attack mail, trained or rejected) plus every held-out
+evaluation (clean-counterfactual re-evaluations included).
+
+Run directly (it is a script, not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_stream_throughput.py --workers 4
+    PYTHONPATH=src python benchmarks/bench_stream_throughput.py --scale smoke
+
+Records **append** to ``benchmarks/results/BENCH_stream.json``
+(``BENCH_stream.smoke.json`` for the smoke scale): each run adds one
+entry, so the file accumulates the stream engine's throughput
+trajectory across revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.replicate import replicate_scenario
+from repro.scenarios import get_scenario
+
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_SCALES = {
+    # (seeds, scenario overrides).  The ramp scenario keeps the
+    # per-tick defense trivial, so the measured work is the engine
+    # itself: arrival generation, incremental training, the bulk
+    # scoring kernel and the snapshot/restore counterfactual.
+    "smoke": (
+        4,
+        dict(ticks=4, ham_per_tick=30, spam_per_tick=30, test_size=80),
+    ),
+    "small": (
+        8,
+        dict(ticks=6, ham_per_tick=40, spam_per_tick=40, test_size=120),
+    ),
+}
+
+
+def _default_json(scale_name: str) -> Path:
+    if scale_name == "small":
+        return _RESULTS_DIR / "BENCH_stream.json"
+    return _RESULTS_DIR / f"BENCH_stream.{scale_name}.json"
+
+
+def _stream_messages(scenario: str, overrides: dict) -> int:
+    """Messages one replica ingests + scores, from the spec alone.
+
+    Mirrors :meth:`StreamResult.messages_processed` for undefended
+    streams (the benchmark's scenarios): the clean-counterfactual
+    re-score only happens from the first tick with attack mail
+    trained — earlier ticks copy the actual confusion.
+    """
+    spec = get_scenario(scenario).build_config(**overrides)
+    test_messages = 2 * (spec.test_size // 2)
+    evaluations = 0
+    attack_so_far = 0
+    for count in spec.tick_attack_counts():
+        evaluations += 1
+        attack_so_far += count
+        if spec.measure_clean and attack_so_far > 0:
+            evaluations += 1
+    return spec.total_arrivals() + evaluations * test_messages
+
+
+def run(
+    scale_name: str,
+    base_seed: int,
+    workers: int,
+    scenario: str,
+    rounds: int,
+    json_out: Path,
+) -> int:
+    n_seeds, overrides = _SCALES[scale_name]
+    messages = _stream_messages(scenario, overrides) * n_seeds
+    print(
+        f"# stream throughput benchmark — scale={scale_name}, "
+        f"scenario={scenario}, seeds={n_seeds}, workers={workers}, "
+        f"messages={messages}, best-of-{rounds}"
+    )
+
+    def _best_of(fn):
+        best = None
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, result
+
+    def _replicate(replicate_workers: int):
+        return replicate_scenario(
+            scenario,
+            seeds=n_seeds,
+            base_seed=base_seed,
+            overrides=overrides,
+            workers=replicate_workers,
+        )
+
+    sequential_seconds, sequential = _best_of(lambda: _replicate(1))
+    pooled_seconds, pooled = _best_of(lambda: _replicate(workers))
+
+    identical = json.dumps(sequential.as_dict()) == json.dumps(pooled.as_dict())
+    sequential_rate = messages / sequential_seconds if sequential_seconds else 0.0
+    pooled_rate = messages / pooled_seconds if pooled_seconds else 0.0
+    speedup = sequential_seconds / pooled_seconds if pooled_seconds else 0.0
+    print(
+        f"sequential   {sequential_seconds:7.2f}s  {sequential_rate:10.0f} msgs/s\n"
+        f"pooled       {pooled_seconds:7.2f}s  {pooled_rate:10.0f} msgs/s\n"
+        f"speedup      {speedup:7.2f}x   identical: {'yes' if identical else 'NO'}"
+    )
+    if workers >= 2 and speedup <= 1.0:
+        print("NOTE: pooled streams did not win at this scale/machine")
+
+    record = {
+        "benchmark": "stream-throughput",
+        "scale": scale_name,
+        "scenario": scenario,
+        "n_seeds": n_seeds,
+        "workers": workers,
+        "base_seed": base_seed,
+        "messages": messages,
+        "sequential_seconds": sequential_seconds,
+        "pooled_seconds": pooled_seconds,
+        "sequential_msgs_per_sec": sequential_rate,
+        "pooled_msgs_per_sec": pooled_rate,
+        "speedup": speedup,
+        "identical": identical,
+    }
+    json_out.parent.mkdir(parents=True, exist_ok=True)
+    history: list = []
+    if json_out.exists():
+        try:
+            existing = json.loads(json_out.read_text(encoding="utf-8"))
+            history = existing if isinstance(existing, list) else [existing]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    json_out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(f"appended to {json_out} ({len(history)} record(s))")
+    return 0 if identical else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=tuple(_SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--scenario", default="stream-dictionary-ramp")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="best-of-N rounds per arm (default 2)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="record path (default: benchmarks/results/"
+                             "BENCH_stream[.<scale>].json, appended)")
+    args = parser.parse_args(argv)
+    return run(
+        args.scale, args.seed, args.workers, args.scenario, args.rounds,
+        args.json or _default_json(args.scale),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

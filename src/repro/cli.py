@@ -62,6 +62,7 @@ from repro.experiments.reporting import (
     render_focused_knowledge_result,
     render_focused_size_result,
     render_roni_result,
+    render_stream_result,
     render_table1,
     render_threshold_result,
 )
@@ -159,6 +160,7 @@ _SCENARIO_RENDERERS: dict[str, Callable] = {
     "focused-knowledge": render_focused_knowledge_result,
     "focused-size": render_focused_size_result,
     "roni-gate": render_roni_result,
+    "stream": render_stream_result,
     "threshold-arms": render_threshold_result,
 }
 """Protocol -> ASCII renderer; protocols without one print the JSON
@@ -167,18 +169,27 @@ record."""
 
 def _parse_override(assignment: str) -> tuple[str, Any]:
     """One ``--set key=value`` pair; values are Python literals when
-    they parse as one (ints, floats, tuples, booleans), else strings."""
+    they parse as one (ints, floats, tuples, booleans), else strings.
+
+    Raises :class:`ScenarioError` (inside the commands' error-handling
+    envelope, so a malformed ``--set`` gets the same clean ``error:``
+    diagnostic and exit code as an unknown scenario — never an
+    argparse usage dump or a traceback).
+    """
     key, separator, raw = assignment.partition("=")
     key = key.strip()
     if not separator or not key:
-        raise argparse.ArgumentTypeError(
-            f"--set needs key=value, got {assignment!r}"
-        )
+        raise ScenarioError(f"--set needs key=value, got {assignment!r}")
     try:
         value: Any = ast.literal_eval(raw.strip())
     except (ValueError, SyntaxError):
         value = raw.strip()
     return key, value
+
+
+def _parse_overrides(assignments: list[str]) -> dict[str, Any]:
+    """All ``--set`` pairs of one invocation, last one per key winning."""
+    return dict(_parse_override(assignment) for assignment in assignments)
 
 
 def build_run_scenario_parser() -> argparse.ArgumentParser:
@@ -191,7 +202,6 @@ def build_run_scenario_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--set",
         dest="overrides",
-        type=_parse_override,
         action="append",
         default=[],
         metavar="KEY=VALUE",
@@ -251,7 +261,7 @@ def _paper_scale_config(spec, overrides: dict, *, seed: int, workers: int) -> An
 
 def _scenario_config(spec, args) -> Any:
     """Materialize the config a ``run-scenario`` invocation asked for."""
-    overrides = dict(args.overrides)
+    overrides = _parse_overrides(args.overrides)
     # Validated up front on every path, so a typo in --set gets the
     # registry's field listing, never a raw dataclass TypeError.
     spec.validate_overrides(overrides)
@@ -300,10 +310,15 @@ def _main_run_scenario(argv: list[str]) -> int:
     )
     print(text)
     if args.out is not None:
-        args.out.mkdir(parents=True, exist_ok=True)
-        (args.out / f"{spec.name}.txt").write_text(text + "\n", encoding="utf-8")
-        if outcome.record is not None:
-            save_record(outcome.record, args.out / f"{spec.name}.json")
+        try:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{spec.name}.txt").write_text(text + "\n", encoding="utf-8")
+            if outcome.record is not None:
+                save_record(outcome.record, args.out / f"{spec.name}.json")
+        except OSError as exc:
+            # The run succeeded; only the archive destination is bad.
+            print(f"error: cannot write --out {args.out}: {exc}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -328,7 +343,6 @@ def build_replicate_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--set",
         dest="overrides",
-        type=_parse_override,
         action="append",
         default=[],
         metavar="KEY=VALUE",
@@ -368,7 +382,7 @@ def _main_replicate(argv: list[str]) -> int:
         if args.seeds < 1:
             raise ScenarioError(f"--seeds must be >= 1, got {args.seeds}")
         spec = get_scenario(args.name)
-        overrides = dict(args.overrides)
+        overrides = _parse_overrides(args.overrides)
         # seed/workers are replication-owned here: each replica's config
         # gets its derived seed and the pool's worker count.
         for reserved in ("seed", "workers"):
@@ -409,9 +423,13 @@ def _main_replicate(argv: list[str]) -> int:
 
     print(render_replicated_record(record))
     if args.out is not None:
-        if args.out.parent != Path("."):
-            args.out.parent.mkdir(parents=True, exist_ok=True)
-        save_record(record, args.out)
+        try:
+            if args.out.parent != Path("."):
+                args.out.parent.mkdir(parents=True, exist_ok=True)
+            save_record(record, args.out)
+        except OSError as exc:
+            print(f"error: cannot write --out {args.out}: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {args.out}")
     return 0
 

@@ -302,11 +302,18 @@ class ParallelRunner:
         workers can pick the tasks up immediately.
         """
         tasks = list(tasks)
-        if self.workers <= 1 or len(tasks) <= 1:
+        if self.workers <= 1:
             return [fn(context, task) for task in tasks]
         pool = _current_pool()
         if pool is not None:
+            # Even a single task routes to the shared pool: it frees
+            # this (replica) thread's slot in the parent process, which
+            # is what lets whole-stream protocols — one sequential task
+            # per run — execute truly concurrently across replicas.
             return pool.run(fn, context, tasks)
+        if len(tasks) <= 1:
+            # A private pool for one task would pay a fork for nothing.
+            return [fn(context, task) for task in tasks]
         results: list[Any] = [None] * len(tasks)
         max_workers = min(self.workers, len(tasks))
         with ProcessPoolExecutor(

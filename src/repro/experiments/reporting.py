@@ -18,6 +18,7 @@ from repro.experiments.params import TABLE1, Table1Row
 from repro.experiments.results import RateStats, ReplicatedRecord
 from repro.experiments.roni_exp import RoniExperimentResult
 from repro.experiments.threshold_exp import ThresholdExperimentResult
+from repro.stream.runner import StreamResult
 
 __all__ = [
     "format_table",
@@ -27,6 +28,7 @@ __all__ = [
     "render_focused_size_result",
     "render_replicated_record",
     "render_roni_result",
+    "render_stream_result",
     "render_threshold_result",
 ]
 
@@ -178,6 +180,70 @@ def render_roni_result(result: RoniExperimentResult) -> str:
         f"{result.config.roni.validation_size}-message validation set)"
     )
     return format_table(headers, rows) + summary
+
+
+def render_stream_result(result: StreamResult) -> str:
+    """A stream's per-tick trail: table plus the degradation curve.
+
+    One row per tick (arrival and gate counters, the held-out rates,
+    fitted cutoffs when the threshold defense ran) and an ASCII chart
+    of held-out ham misclassification over time — with the
+    counterfactual clean curve alongside when the spec measured it.
+    """
+    spec = result.spec
+    with_clean = all(o.clean_confusion is not None for o in result.ticks)
+    with_cutoffs = any(o.ham_cutoff is not None for o in result.ticks)
+    headers = [
+        "tick",
+        "trained",
+        "attack sent/trained/rej",
+        "legit rej",
+        "ham-as-spam",
+        "ham-as-spam|unsure",
+        "spam-as-spam",
+    ]
+    if with_clean:
+        headers.append("clean ham|unsure")
+    if with_cutoffs:
+        headers.append("fitted (θ0, θ1)")
+    rows = []
+    for outcome in result.ticks:
+        row = [
+            outcome.tick,
+            outcome.trained_messages,
+            f"{outcome.attack_sent}/{outcome.attack_trained}/{outcome.attack_rejected}",
+            outcome.legitimate_rejected,
+            f"{outcome.confusion.ham_as_spam_rate:.1%}",
+            f"{outcome.confusion.ham_misclassified_rate:.1%}",
+            f"{outcome.confusion.spam_as_spam_rate:.1%}",
+        ]
+        if with_clean:
+            row.append(f"{outcome.clean_confusion.ham_misclassified_rate:.1%}")
+        if with_cutoffs:
+            row.append(
+                "-"
+                if outcome.ham_cutoff is None
+                else f"({outcome.ham_cutoff:.2f}, {outcome.spam_cutoff:.2f})"
+            )
+        rows.append(row)
+    chart_series = {
+        "ham-as-spam|unsure": [
+            (float(o.tick), o.confusion.ham_misclassified_rate) for o in result.ticks
+        ]
+    }
+    if with_clean:
+        chart_series["clean counterfactual"] = [
+            (float(o.tick), o.clean_confusion.ham_misclassified_rate)
+            for o in result.ticks
+        ]
+    chart = ascii_line_chart(
+        chart_series,
+        title=f"stream: held-out ham misclassification over {spec.ticks} ticks "
+        f"({spec.attack_variant} {spec.ramp}, defense={spec.defense})",
+        x_label="tick (retraining period)",
+        y_label="fraction of held-out ham misclassified",
+    )
+    return format_table(headers, rows) + "\n\n" + chart
 
 
 def _error_bar(stats: RateStats) -> str:

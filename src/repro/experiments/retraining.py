@@ -16,27 +16,44 @@ The per-week output (held-out ham/spam rates, attack messages trained
 vs. rejected) shows the filter degrading week by week without the
 defense and shrugging the attack off with it.  Used by
 ``examples/retraining_simulation.py`` and the durability tests.
+
+Since the streaming engine landed, this module is the *definition*
+(config and result shapes) plus two executables:
+
+* :func:`run_retraining_simulation` — a thin delegation onto
+  :class:`repro.stream.StreamRunner` (the weekly loop is a
+  constant-ramp :class:`~repro.stream.spec.StreamSpec`);
+* :func:`sequential_reference_retraining` — the original inline
+  weekly loop, retained verbatim as the executable specification.
+  ``tests/test_stream_vs_retraining.py`` holds the two side by side
+  and asserts the weekly outcomes identical, field for field, under
+  both defenses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.corpus.dataset import Dataset, LabeledMessage
 from repro.corpus.trec import TrecStyleCorpus
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.defenses.roni import RoniConfig, RoniDefense
 from repro.errors import ExperimentError
+from repro.experiments.attack_data import attack_messages_as_dataset
 from repro.experiments.crossval import evaluate_dataset, train_grouped
 from repro.experiments.dictionary_exp import build_attack_variants
 from repro.experiments.metrics import ConfusionCounts
-from repro.experiments.threshold_exp import attack_messages_as_dataset
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 
-__all__ = ["RetrainingConfig", "WeeklyOutcome", "RetrainingResult", "run_retraining_simulation"]
+__all__ = [
+    "RetrainingConfig",
+    "WeeklyOutcome",
+    "RetrainingResult",
+    "run_retraining_simulation",
+    "sequential_reference_retraining",
+]
 
 
 @dataclass(frozen=True)
@@ -96,7 +113,47 @@ class RetrainingResult:
 
 
 def run_retraining_simulation(config: RetrainingConfig = RetrainingConfig()) -> RetrainingResult:
-    """Play the weekly loop and return per-week outcomes."""
+    """Play the weekly loop and return per-week outcomes.
+
+    Delegates to the streaming engine: the weekly loop is exactly a
+    constant-ramp :class:`~repro.stream.spec.StreamSpec`
+    (:meth:`~repro.stream.spec.StreamSpec.from_retraining`), and the
+    stream runner inherits this loop's seed-stream labels — so the
+    outcomes are identical, field for field, to the retained
+    :func:`sequential_reference_retraining`.
+    """
+    # Late import: repro.stream imports the experiments layer.
+    from repro.stream import StreamRunner, StreamSpec
+
+    stream_result = StreamRunner(StreamSpec.from_retraining(config)).run()
+    result = RetrainingResult(config=config)
+    result.weeks = [
+        WeeklyOutcome(
+            week=outcome.tick,
+            trained_messages=outcome.trained_messages,
+            attack_sent=outcome.attack_sent,
+            attack_trained=outcome.attack_trained,
+            attack_rejected=outcome.attack_rejected,
+            legitimate_rejected=outcome.legitimate_rejected,
+            confusion=outcome.confusion,
+        )
+        for outcome in stream_result.ticks
+    ]
+    return result
+
+
+def sequential_reference_retraining(
+    config: RetrainingConfig = RetrainingConfig(),
+) -> RetrainingResult:
+    """The original strictly sequential weekly loop, verbatim.
+
+    Retained as the executable specification of the Section 2.1
+    dynamics: ``tests/test_stream_vs_retraining.py`` runs it against
+    the stream-engine delegation and asserts every weekly outcome
+    identical, under both defenses.  New callers should use
+    :func:`run_retraining_simulation` (or a richer
+    :class:`~repro.stream.spec.StreamSpec` directly).
+    """
     spawner = SeedSpawner(config.seed).spawn("retraining")
     needed_ham = config.weeks * config.ham_per_week + config.test_size
     needed_spam = config.weeks * config.spam_per_week + config.test_size

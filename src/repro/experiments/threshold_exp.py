@@ -37,8 +37,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.attacks.base import Attack, AttackBatch
-from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.attacks.base import Attack
+from repro.corpus.dataset import Dataset
 from repro.corpus.vocabulary import VocabularyProfile, SMALL_PROFILE
 from repro.defenses.threshold import DynamicThresholdConfig, DynamicThresholdDefense
 from repro.engine.sweep import (
@@ -46,10 +46,10 @@ from repro.engine.sweep import (
     evaluate_dataset,
     unlearn_grouped,
 )
+from repro.experiments.attack_data import attack_messages_as_dataset
 from repro.experiments.metrics import ConfusionCounts
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.spambayes.classifier import Classifier
-from repro.spambayes.message import Email
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 from repro.spambayes.tokenizer import Tokenizer
 
@@ -134,26 +134,11 @@ class ThresholdExperimentResult:
         )
 
 
-def attack_messages_as_dataset(batch: AttackBatch, start: int = 0) -> list[LabeledMessage]:
-    """Materialize a batch as spam-labeled dataset members.
-
-    Bodies stay empty — token caches are pre-seeded with the payload,
-    which is all downstream training ever reads — so a thousand
-    90k-token attack messages cost one shared frozenset, not gigabytes
-    of rendered text.
-    """
-    messages: list[LabeledMessage] = []
-    index = start
-    for group in batch.groups:
-        for _ in range(group.count):
-            message = LabeledMessage(
-                Email(body="", msgid=f"attack-{batch.attack_name}-{index:06d}"),
-                is_spam=True,
-            )
-            message._tokens = group.training_tokens
-            messages.append(message)
-            index += 1
-    return messages
+# ``attack_messages_as_dataset`` moved to
+# :mod:`repro.experiments.attack_data` (shared plumbing — retraining
+# and the streaming engine use it too).  The re-export above keeps the
+# historical ``threshold_exp`` import path working; new code should
+# import from ``repro.experiments.attack_data``.
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,7 @@
 """The built-in scenario catalogue.
 
-Five paper artifacts, one beyond-the-paper evasion study, and the
+Five paper artifacts, one beyond-the-paper evasion study, the
+time-ordered ``stream-*`` family (:mod:`repro.stream`), and the
 cross-product scenarios the declarative registry makes cheap: each
 registration is a :class:`~repro.scenarios.spec.ScenarioSpec` naming a
 protocol, a config dataclass and a handful of default overrides —
@@ -21,6 +22,7 @@ from repro.experiments.roni_exp import PAPER_VARIANTS, RoniExperimentConfig
 from repro.experiments.threshold_exp import ThresholdExperimentConfig
 from repro.scenarios.registry import register_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.stream.spec import StreamSpec
 
 __all__ = ["BUILTIN_SCENARIOS", "register_builtin_scenarios"]
 
@@ -141,6 +143,110 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         "attack email damages one future message, not the broad validation "
         "ham RONI watches — so the gate that separates dictionary attacks "
         "perfectly should fail to flag it.",
+    ),
+    # ------------------------------------------------------------------
+    # The streaming family: time-ordered Section 2.1 deployments
+    # (repro.stream).  x is the tick (week) number, so `repro
+    # replicate stream-*` pools per-tick error bars over seeds.
+    # ------------------------------------------------------------------
+    ScenarioSpec(
+        name="stream-dictionary-ramp",
+        title="Linearly ramping usenet dictionary attack, undefended",
+        protocol="stream",
+        config_type=StreamSpec,
+        defaults={
+            "ramp": "linear",
+            "ramp_ticks": 4,
+            "attack_per_tick": 24,
+            "measure_clean": True,
+        },
+        attack_grid=("usenet",),
+        metrics=("ham_as_spam_rate", "ham_misclassified_rate", "clean_delta"),
+        description="A cautious attacker ramps 6 -> 24 messages/tick over "
+        "four retrains; the stream-clean counterfactual series (attack "
+        "mail unlearned through the snapshot WAL) isolates the damage.",
+    ),
+    ScenarioSpec(
+        name="stream-dictionary-vs-roni",
+        title="Constant usenet dictionary stream vs the RONI gate",
+        protocol="stream",
+        config_type=StreamSpec,
+        defaults={
+            "ticks": 6,
+            "ham_per_tick": 40,
+            "spam_per_tick": 40,
+            "attack_start_tick": 3,
+            "attack_per_tick": 10,
+            "defense": "roni",
+            "roni_calibration_size": 100,
+            "test_size": 120,
+        },
+        attack_grid=("usenet",),
+        defense_stack=("roni",),
+        metrics=("ham_misclassified_rate", "attack_rejected", "legitimate_rejected"),
+        description="The Section 2.1 deployment defended: the gate "
+        "recalibrates each tick on accepted mail and should reject the "
+        "dictionary stream wholesale once warmed up.",
+    ),
+    ScenarioSpec(
+        name="stream-focused-vs-roni",
+        title="Focused attack stream vs the RONI gate",
+        protocol="stream",
+        config_type=StreamSpec,
+        defaults={
+            "ticks": 6,
+            "ham_per_tick": 40,
+            "spam_per_tick": 40,
+            "attack_start_tick": 3,
+            "attack_per_tick": 10,
+            "attack_variant": "focused",
+            "defense": "roni",
+            "roni_calibration_size": 100,
+            "test_size": 120,
+        },
+        attack_grid=("focused",),
+        defense_stack=("roni",),
+        metrics=("ham_misclassified_rate", "attack_rejected"),
+        description="The Section 5.1 caveat over time: focused attack "
+        "email targets one future message, so the broad-validation gate "
+        "that stops dictionary streams should keep letting it through.",
+    ),
+    ScenarioSpec(
+        name="stream-usenet-burst",
+        title="One-tick usenet dictionary burst, undefended",
+        protocol="stream",
+        config_type=StreamSpec,
+        defaults={"ramp": "burst", "ramp_ticks": 4, "attack_per_tick": 12},
+        attack_grid=("usenet",),
+        metrics=("ham_as_spam_rate", "ham_misclassified_rate"),
+        description="The constant campaign's whole budget (4 ticks x 12 "
+        "messages) lands in a single retraining period — how fast does "
+        "the filter fall, and does it recover as clean mail keeps "
+        "arriving?",
+    ),
+    ScenarioSpec(
+        name="stream-threshold-over-time",
+        title="Per-tick refitted thresholds under a constant dictionary stream",
+        protocol="stream",
+        config_type=StreamSpec,
+        defaults={"defense": "threshold", "threshold_quantile": 0.10},
+        attack_grid=("usenet",),
+        defense_stack=("dynamic-threshold",),
+        metrics=("ham_misclassified_rate", "spam_as_unsure_rate"),
+        description="Figure 5's defense deployed the way Section 2.1 "
+        "implies: (θ0, θ1) refitted after every retrain on the poisoned "
+        "history, the held-out evaluation run under the fitted cutoffs.",
+    ),
+    ScenarioSpec(
+        name="stream-clean-control",
+        title="Attack-free control stream",
+        protocol="stream",
+        config_type=StreamSpec,
+        defaults={"attack_per_tick": 0},
+        metrics=("ham_as_spam_rate", "ham_misclassified_rate"),
+        description="The undefended stream with no attacker: the "
+        "per-tick baseline every stream-* scenario's curves are read "
+        "against (and the natural subject of replicate error bars).",
     ),
 )
 

@@ -50,6 +50,7 @@ from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.tokenizer import DEFAULT_TOKENIZER
+from repro.stream.runner import run_stream_experiment
 
 if TYPE_CHECKING:
     from repro.spambayes.token_table import TokenTable
@@ -473,5 +474,9 @@ PROTOCOLS: dict[str, Callable[[Any], Any]] = {
     "goodword-evasion": run_goodword_evasion,
     "roni-gate": run_roni_gate,
     "threshold-arms": run_threshold_arms,
+    # The streaming engine lives in its own subsystem
+    # (repro.stream): a stream is one sequential task, fanned out
+    # whole under the shared worker pool (see run_stream_experiment).
+    "stream": run_stream_experiment,
 }
 """Protocol name -> executor function, as scenario specs declare them."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Mapping
 
-from repro.errors import ScenarioError
+from repro.errors import ReproError, ScenarioError
 
 __all__ = ["ScenarioSpec"]
 
@@ -100,12 +100,24 @@ class ScenarioSpec:
         field (including ``seed`` and ``workers``) is overridable.
         Unknown override names raise :class:`ScenarioError` (listing
         the accepted fields); value validation is the config
-        dataclass's own ``__post_init__``.
+        dataclass's own ``__post_init__`` — its :class:`ReproError`
+        diagnostics pass through untouched, while a value of the wrong
+        *type* (a ``--set folds=banana`` string hitting an integer
+        comparison) is converted from the raw ``TypeError`` /
+        ``ValueError`` into a :class:`ScenarioError` naming the
+        scenario, so user input mistakes never surface as tracebacks.
         """
         merged: dict[str, Any] = dict(self.defaults)
         merged.update(overrides)
         self._check_fields(merged, "override")
-        return self.config_type(**merged)
+        try:
+            return self.config_type(**merged)
+        except ReproError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"scenario {self.name!r}: invalid config value(s): {exc}"
+            ) from exc
 
     def describe(self) -> str:
         """One-line human summary for listings."""

@@ -8,6 +8,14 @@ import pytest
 
 from repro.cli import ARTIFACTS, build_parser, main
 
+FAST_SCENARIO_ARGS = [
+    "--set", "ticks=2",
+    "--set", "ham_per_tick=15",
+    "--set", "spam_per_tick=15",
+    "--set", "test_size=30",
+]
+"""Overrides that make `stream-clean-control` run in well under a second."""
+
 
 class TestParser:
     def test_requires_artifact(self, capsys):
@@ -75,3 +83,102 @@ class TestExecution:
         assert record["series"][0]["points"]
         output = capsys.readouterr().out
         assert "Figure 3" in output
+
+
+class TestScenarioErrorPaths:
+    """Every user-input mistake on the scenario commands must produce
+    one clean ``error: ...`` diagnostic (a ReproError-derived message)
+    and a nonzero exit — never a traceback, never an argparse dump."""
+
+    def _error_of(self, capsys, argv: list[str]) -> str:
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+        return captured.err
+
+    def test_unknown_scenario_name(self, capsys):
+        err = self._error_of(capsys, ["run-scenario", "no-such-scenario"])
+        assert "unknown scenario" in err
+        assert "stream-clean-control" in err  # the catalogue is listed
+
+    def test_set_without_equals(self, capsys):
+        err = self._error_of(
+            capsys, ["run-scenario", "stream-clean-control", "--set", "ticks"]
+        )
+        assert "--set needs key=value" in err
+
+    def test_set_unknown_field(self, capsys):
+        err = self._error_of(
+            capsys, ["run-scenario", "stream-clean-control", "--set", "bogus=3"]
+        )
+        assert "unknown override field" in err
+        assert "ticks" in err  # accepted fields are listed
+
+    def test_set_uncoercible_value(self, capsys):
+        err = self._error_of(
+            capsys, ["run-scenario", "stream-clean-control", "--set", "ticks=banana"]
+        )
+        assert "invalid config value" in err
+
+    def test_replicate_zero_seeds(self, capsys):
+        err = self._error_of(
+            capsys, ["replicate", "stream-clean-control", "--seeds", "0"]
+        )
+        assert "--seeds must be >= 1" in err
+
+    def test_replicate_reserved_override(self, capsys):
+        err = self._error_of(
+            capsys, ["replicate", "stream-clean-control", "--set", "seed=3"]
+        )
+        assert "conflicts with replication" in err
+
+    def test_run_scenario_unwritable_out(self, capsys, tmp_path):
+        blocker = tmp_path / "a-file"
+        blocker.write_text("not a directory")
+        err = self._error_of(
+            capsys,
+            ["run-scenario", "stream-clean-control", *FAST_SCENARIO_ARGS,
+             "--out", str(blocker / "sub")],
+        )
+        assert "cannot write --out" in err
+
+    def test_replicate_unwritable_out(self, capsys, tmp_path):
+        blocker = tmp_path / "a-file"
+        blocker.write_text("not a directory")
+        err = self._error_of(
+            capsys,
+            ["replicate", "stream-clean-control", "--seeds", "2",
+             *FAST_SCENARIO_ARGS, "--out", str(blocker / "sub" / "r.json")],
+        )
+        assert "cannot write --out" in err
+
+    def test_replicate_malformed_set_is_clean_too(self, capsys):
+        err = self._error_of(
+            capsys, ["replicate", "stream-clean-control", "--set", "novalue"]
+        )
+        assert "--set needs key=value" in err
+
+
+class TestScenarioHappyPaths:
+    def test_run_scenario_writes_text_and_record(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(
+            ["run-scenario", "stream-clean-control", *FAST_SCENARIO_ARGS,
+             "--out", str(out)]
+        ) == 0
+        assert (out / "stream-clean-control.txt").exists()
+        record = json.loads((out / "stream-clean-control.json").read_text())
+        assert record["experiment"] == "stream"
+        output = capsys.readouterr().out
+        assert "held-out ham misclassification" in output
+
+    def test_replicate_writes_pooled_record(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        assert main(
+            ["replicate", "stream-clean-control", "--seeds", "2",
+             *FAST_SCENARIO_ARGS, "--out", str(out)]
+        ) == 0
+        record = json.loads(out.read_text())
+        assert record["config"]["scenario"] == "stream-clean-control"
+        assert len(record["replicas"]) == 2

@@ -19,6 +19,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 HASH_SEEDS = ("0", "1", "2")
@@ -68,6 +70,7 @@ print(json.dumps({
 """
 
 
+@pytest.mark.slow
 class TestTableLayoutAcrossHashSeeds:
     def test_same_encode_same_layout_and_dump_under_three_hash_seeds(self):
         outputs = [
@@ -120,6 +123,7 @@ print(json.dumps(record.as_dict(), indent=2))
 """
 
 
+@pytest.mark.slow
 class TestReplicationAcrossHashSeeds:
     def test_replicated_record_byte_identical_across_hash_seeds(self):
         # The acceptance contract behind `repro replicate ... --out`:
@@ -129,3 +133,40 @@ class TestReplicationAcrossHashSeeds:
             _run_under_hash_seed(_REPLICATE_SCRIPT, seed) for seed in HASH_SEEDS[:2]
         ]
         assert outputs[1] == outputs[0]
+
+
+_STREAM_REPLICATE_SCRIPT = """
+import json
+from repro.scenarios import replicate_scenario
+
+record = replicate_scenario(
+    "stream-dictionary-ramp",
+    seeds=2,
+    overrides=dict(
+        ticks=3, ham_per_tick=20, spam_per_tick=20,
+        attack_start_tick=2, attack_per_tick=6, test_size=40,
+    ),
+    workers=%d,
+)
+print(json.dumps(record.as_dict(), indent=2))
+"""
+
+
+@pytest.mark.slow
+class TestStreamReplicationDeterminism:
+    """The stream engine under the same contract: serialized stream
+    replication records are bit-identical across hash seeds AND across
+    worker counts (sequential replicas vs whole-stream tasks in the
+    shared pool)."""
+
+    def test_stream_records_identical_across_hash_seeds(self):
+        outputs = [
+            _run_under_hash_seed(_STREAM_REPLICATE_SCRIPT % 1, seed)
+            for seed in HASH_SEEDS[:2]
+        ]
+        assert outputs[1] == outputs[0]
+
+    def test_stream_records_identical_across_worker_counts(self):
+        sequential = _run_under_hash_seed(_STREAM_REPLICATE_SCRIPT % 1, HASH_SEEDS[0])
+        pooled = _run_under_hash_seed(_STREAM_REPLICATE_SCRIPT % 2, HASH_SEEDS[1])
+        assert pooled == sequential

@@ -40,6 +40,7 @@ def dictionary_result(suite_workers):
     return run_dictionary_experiment(config)
 
 
+@pytest.mark.slow
 class TestFigure1Shape:
     def test_clean_baseline_is_accurate(self, dictionary_result):
         for points in dictionary_result.sweeps.values():
@@ -97,6 +98,7 @@ def focused_config(suite_workers):
     )
 
 
+@pytest.mark.slow
 class TestFigure2Shape:
     def test_success_monotone_in_knowledge(self, focused_config):
         result = run_focused_knowledge_experiment(focused_config)
@@ -118,6 +120,7 @@ class TestFigure2Shape:
             assert sum(result.label_counts[probability].values()) == expected
 
 
+@pytest.mark.slow
 class TestFigure3Shape:
     def test_misclassification_monotone_in_size(self, focused_config):
         result = run_focused_size_experiment(focused_config)
@@ -133,6 +136,7 @@ class TestFigure3Shape:
             assert point.ham_as_spam_rate <= point.ham_misclassified_rate
 
 
+@pytest.mark.slow
 class TestRoniShape:
     @pytest.fixture(scope="class")
     def roni_result(self, suite_workers):
@@ -162,6 +166,7 @@ class TestRoniShape:
             assert len(impacts) == roni_result.config.repetitions_per_variant
 
 
+@pytest.mark.slow
 class TestFigure5Shape:
     @pytest.fixture(scope="class")
     def threshold_result(self, suite_workers):

@@ -58,6 +58,7 @@ class TestGrahamInsideFilterFacade:
         assert restored.word_info("cheap") == graham_filter.classifier.word_info("cheap")
 
 
+@pytest.mark.slow
 class TestRetrainingWarmup:
     def test_roni_without_history_trains_everything(self):
         """With the attack arriving before RONI has enough accepted

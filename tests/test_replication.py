@@ -37,6 +37,12 @@ def _square_task(context, task):
     return context["offset"] + task * task
 
 
+def _pid_task(context, task):
+    import os
+
+    return os.getpid()
+
+
 def _failing_task(context, task):
     if task == 3:
         raise ValueError("task three exploded")
@@ -90,6 +96,20 @@ class TestWorkerPool:
         after = ParallelRunner(workers=1).map(_square_task, {"offset": 1}, tasks)
         assert after == expected
 
+    def test_single_task_routes_into_active_pool(self):
+        # A lone task still ships to the shared pool (whole-stream
+        # protocols are one task per run; offloading it frees the
+        # replica thread), while without a pool a single task stays
+        # inline rather than paying a private fork.
+        import os
+
+        with WorkerPool(2) as pool:
+            with use_worker_pool(pool):
+                (pooled_pid,) = ParallelRunner(workers=2).map(_pid_task, None, [0])
+        assert pooled_pid != os.getpid()
+        (inline_pid,) = ParallelRunner(workers=2).map(_pid_task, None, [0])
+        assert inline_pid == os.getpid()
+
 
 class TestReplicaSeeds:
     def test_deterministic_and_distinct(self):
@@ -111,6 +131,7 @@ class TestReplicaSeeds:
             replicate_scenario("dictionary-vs-none", seeds=[7, 7])
 
 
+@pytest.mark.slow
 class TestReplicateScenario:
     def test_replicas_are_standalone_runs(self):
         from repro.scenarios import get_scenario, run_scenario
@@ -231,6 +252,7 @@ class TestRenderReplicated:
         assert "no curve series" in text
 
 
+@pytest.mark.slow
 class TestReplicateCli:
     def _argv(self, tmp_path, workers):
         sets = [f"--set {key}={value!r}" for key, value in TINY_DICTIONARY.items()]

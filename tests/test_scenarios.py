@@ -110,7 +110,12 @@ class TestRegistry:
 
     def test_list_scenarios_filters(self):
         gated = list_scenarios(lambda spec: "roni" in spec.defense_stack)
-        assert {spec.name for spec in gated} == {"roni-defense", "focused-vs-roni"}
+        assert {spec.name for spec in gated} == {
+            "roni-defense",
+            "focused-vs-roni",
+            "stream-dictionary-vs-roni",
+            "stream-focused-vs-roni",
+        }
 
 
 # ----------------------------------------------------------------------

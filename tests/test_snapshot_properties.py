@@ -1,0 +1,209 @@
+"""Randomized property tests for the snapshot/restore WAL.
+
+The copy-on-write write-ahead log behind
+:meth:`Classifier.snapshot` / :meth:`Classifier.restore` is the
+foundation the sweep engine and the streaming engine stand on, and
+example-based tests only walk a handful of op shapes through it.
+These tests drive **seeded random interleavings** of every mutating
+training call (``learn`` / ``unlearn`` / ``learn_repeated`` /
+``unlearn_repeated``) mixed with scoring calls (``score_ids`` /
+``score`` / ``spam_prob`` — which build and partially evict the
+significance memos the WAL must keep honest) between ``snapshot()``
+and ``restore()``, then assert the classifier is **bit-exactly** the
+classifier that never took the excursion:
+
+* the serialized dump (token → counts mapping, table-layout
+  independent) matches a freshly trained twin that replayed only the
+  committed operations,
+* every probe message scores identically on both — floats compared
+  for equality, which catches any memo entry the restore failed to
+  evict,
+* the excursion/restore cycle repeats, with more committed work in
+  between, so the WAL is proven reusable mid-history.
+
+Everything is driven by ``random.Random(seed)`` over a parametrized
+seed list — fully deterministic, no external fuzzing dependency.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.spambayes.classifier import Classifier
+from repro.spambayes.persistence import classifier_to_dict
+
+VOCABULARY = [f"tok{i:02d}" for i in range(40)]
+
+
+def random_message(rng: random.Random) -> frozenset[str]:
+    return frozenset(rng.sample(VOCABULARY, rng.randint(1, 12)))
+
+
+class OpDriver:
+    """Applies a random mutating op and logs it for replay.
+
+    ``live`` tracks every (tokens, is_spam, count) unit currently
+    trained, so generated unlearns are always *valid* — the property
+    under test is WAL round-tripping, not error handling.
+    """
+
+    def __init__(self, classifier: Classifier, rng: random.Random) -> None:
+        self.classifier = classifier
+        self.rng = rng
+        self.live: list[tuple[frozenset[str], bool, int]] = []
+        self.log: list[tuple] = []
+
+    def apply_random_op(self) -> None:
+        choices = ["learn", "learn", "learn_repeated", "score", "score_ids", "prob"]
+        if self.live:
+            choices += ["unlearn", "unlearn_repeated"]
+        op = self.rng.choice(choices)
+        getattr(self, f"_op_{op}")()
+
+    # -- mutations ------------------------------------------------------
+
+    def _op_learn(self) -> None:
+        tokens = random_message(self.rng)
+        is_spam = self.rng.random() < 0.5
+        self.classifier.learn(tokens, is_spam)
+        self.live.append((tokens, is_spam, 1))
+        self.log.append(("learn", tokens, is_spam, 1))
+
+    def _op_learn_repeated(self) -> None:
+        tokens = random_message(self.rng)
+        is_spam = self.rng.random() < 0.5
+        count = self.rng.randint(2, 5)
+        self.classifier.learn_repeated(tokens, is_spam, count)
+        self.live.append((tokens, is_spam, count))
+        self.log.append(("learn", tokens, is_spam, count))
+
+    def _pop_live(self) -> tuple[frozenset[str], bool, int]:
+        return self.live.pop(self.rng.randrange(len(self.live)))
+
+    def _op_unlearn(self) -> None:
+        tokens, is_spam, count = self._pop_live()
+        self.classifier.unlearn(tokens, is_spam)
+        if count > 1:
+            self.live.append((tokens, is_spam, count - 1))
+        self.log.append(("unlearn", tokens, is_spam, 1))
+
+    def _op_unlearn_repeated(self) -> None:
+        tokens, is_spam, count = self._pop_live()
+        self.classifier.unlearn_repeated(tokens, is_spam, count)
+        self.log.append(("unlearn", tokens, is_spam, count))
+
+    # -- scoring (memo-warming, never mutating) -------------------------
+
+    def _op_score(self) -> None:
+        self.classifier.score(random_message(self.rng))
+
+    def _op_score_ids(self) -> None:
+        ids = self.classifier.encode_tokens(random_message(self.rng))
+        self.classifier.score_ids(ids)
+
+    def _op_prob(self) -> None:
+        self.classifier.spam_prob(self.rng.choice(VOCABULARY))
+
+
+def replay(log: list[tuple]) -> Classifier:
+    """A fresh twin trained from a committed op log alone."""
+    twin = Classifier()
+    for op, tokens, is_spam, count in log:
+        if op == "learn":
+            twin.learn_repeated(tokens, is_spam, count)
+        else:
+            twin.unlearn_repeated(tokens, is_spam, count)
+    return twin
+
+
+def assert_bit_identical(classifier: Classifier, twin: Classifier, rng: random.Random):
+    assert classifier.nspam == twin.nspam
+    assert classifier.nham == twin.nham
+    assert classifier.vocabulary_size == twin.vocabulary_size
+    assert classifier_to_dict(classifier) == classifier_to_dict(twin)
+    for _ in range(15):
+        probe = random_message(rng)
+        assert classifier.score(probe) == twin.score(probe)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234, 99991])
+class TestSnapshotRoundTripProperties:
+    def test_random_interleavings_round_trip_bit_exactly(self, seed):
+        rng = random.Random(seed)
+        driver = OpDriver(Classifier(), rng)
+
+        # Committed prelude.
+        for _ in range(rng.randint(4, 10)):
+            driver.apply_random_op()
+
+        for _round in range(3):
+            committed_log = list(driver.log)
+            committed_live = list(driver.live)
+            snap = driver.classifier.snapshot()
+            assert driver.classifier.snapshot_active
+            # The excursion: a random interleaving of every op kind.
+            for _ in range(rng.randint(5, 20)):
+                driver.apply_random_op()
+            driver.classifier.restore(snap)
+            assert not driver.classifier.snapshot_active
+            # Discard the excursion from the driver's book-keeping too.
+            driver.log = committed_log
+            driver.live = committed_live
+
+            assert_bit_identical(
+                driver.classifier, replay(driver.log), random.Random(seed + 1)
+            )
+
+            # More committed work between rounds: the WAL must be
+            # re-armable mid-history, not just once on a fresh model.
+            for _ in range(rng.randint(2, 6)):
+                driver.apply_random_op()
+
+        assert_bit_identical(
+            driver.classifier, replay(driver.log), random.Random(seed + 2)
+        )
+
+    def test_restored_classifier_keeps_training_like_the_twin(self, seed):
+        # After a restore, future training must behave as if the
+        # excursion never happened — counts, memos and snapshots alike.
+        rng = random.Random(seed)
+        driver = OpDriver(Classifier(), rng)
+        for _ in range(6):
+            driver.apply_random_op()
+        committed_log = list(driver.log)
+        committed_live = list(driver.live)
+        snap = driver.classifier.snapshot()
+        for _ in range(8):
+            driver.apply_random_op()
+        driver.classifier.restore(snap)
+        driver.log, driver.live = committed_log, committed_live
+
+        # Same continuation applied to both sides.
+        continuation = [
+            (random_message(rng), rng.random() < 0.5, rng.randint(1, 3))
+            for _ in range(5)
+        ]
+        twin = replay(driver.log)
+        for tokens, is_spam, count in continuation:
+            driver.classifier.learn_repeated(tokens, is_spam, count)
+            twin.learn_repeated(tokens, is_spam, count)
+        assert_bit_identical(driver.classifier, twin, random.Random(seed + 3))
+
+
+class TestSnapshotContract:
+    def test_single_use_and_ownership(self):
+        classifier = Classifier()
+        classifier.learn({"a", "b"}, True)
+        snap = classifier.snapshot()
+        with pytest.raises(TrainingError):
+            classifier.snapshot()  # one active snapshot at a time
+        classifier.restore(snap)
+        with pytest.raises(TrainingError):
+            classifier.restore(snap)  # single-use
+        other = Classifier()
+        other_snap = other.snapshot()
+        with pytest.raises(TrainingError):
+            classifier.restore(other_snap)  # owner-bound

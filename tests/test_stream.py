@@ -1,0 +1,365 @@
+"""Tests for the streaming mailstream engine (:mod:`repro.stream`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.results import ExperimentRecord
+from repro.experiments.retraining import RetrainingConfig
+from repro.scenarios import get_scenario, list_scenarios, run_scenario
+from repro.stream import (
+    StreamRunner,
+    StreamSpec,
+    build_tick_defense,
+    run_stream_experiment,
+)
+from repro.stream.defenses import RoniTickDefense, ThresholdTickDefense, TickDefense
+from repro.spambayes.token_table import TokenTable
+
+TINY = dict(
+    ticks=3,
+    ham_per_tick=20,
+    spam_per_tick=20,
+    attack_start_tick=2,
+    attack_per_tick=5,
+    test_size=40,
+    seed=11,
+)
+
+
+def tiny_spec(**overrides) -> StreamSpec:
+    merged = dict(TINY)
+    merged.update(overrides)
+    return StreamSpec(**merged)
+
+
+# ----------------------------------------------------------------------
+# Spec validation and schedules
+# ----------------------------------------------------------------------
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(ticks=0),
+            dict(ham_per_tick=-1),
+            dict(spam_per_tick=-1),
+            dict(attack_start_tick=0),
+            dict(attack_per_tick=-1),
+            dict(ramp="exponential"),
+            dict(ramp_ticks=0),
+            dict(defense="magic"),
+            dict(test_size=1),
+            dict(defense="roni", roni_calibration_size=10),
+            dict(defense="threshold", spam_per_tick=0),
+        ],
+    )
+    def test_invalid_specs_raise(self, overrides):
+        with pytest.raises(ExperimentError):
+            tiny_spec(**overrides)
+
+    def test_defaults_are_the_legacy_weekly_loop(self):
+        spec = StreamSpec()
+        assert (spec.ticks, spec.ham_per_tick, spec.spam_per_tick) == (8, 60, 60)
+        assert spec.ramp == "constant"
+        assert spec.defense == "none"
+
+
+class TestSchedules:
+    def test_constant_matches_legacy_shape(self):
+        spec = tiny_spec(ticks=5, attack_start_tick=3, attack_per_tick=7)
+        assert spec.tick_attack_counts() == (0, 0, 7, 7, 7)
+
+    def test_linear_ramps_to_peak_and_holds(self):
+        spec = tiny_spec(
+            ticks=6, attack_start_tick=2, attack_per_tick=12, ramp="linear", ramp_ticks=4
+        )
+        assert spec.tick_attack_counts() == (0, 3, 6, 9, 12, 12)
+
+    def test_burst_compresses_the_campaign_budget(self):
+        spec = tiny_spec(
+            ticks=4, attack_start_tick=2, attack_per_tick=5, ramp="burst", ramp_ticks=3
+        )
+        assert spec.tick_attack_counts() == (0, 15, 0, 0)
+        # Same total mail as the constant campaign over ramp_ticks ticks.
+        constant = tiny_spec(ticks=4, attack_start_tick=2, attack_per_tick=5)
+        assert spec.total_attack_messages() == constant.total_attack_messages()
+
+    def test_zero_peak_is_a_clean_stream(self):
+        spec = tiny_spec(attack_per_tick=0)
+        assert spec.tick_attack_counts() == (0, 0, 0)
+        assert spec.total_arrivals() == 3 * 40
+
+    def test_total_arrivals_counts_attack_mail(self):
+        spec = tiny_spec()
+        assert spec.total_arrivals() == 3 * 40 + 2 * 5
+
+
+class TestFromRetraining:
+    def test_field_mapping(self):
+        config = RetrainingConfig(
+            weeks=5,
+            ham_per_week=25,
+            spam_per_week=35,
+            attack_start_week=2,
+            attack_per_week=9,
+            defense="roni",
+            test_size=80,
+            seed=23,
+        )
+        spec = StreamSpec.from_retraining(config)
+        assert spec.ticks == 5
+        assert (spec.ham_per_tick, spec.spam_per_tick) == (25, 35)
+        assert (spec.attack_start_tick, spec.attack_per_tick) == (2, 9)
+        assert spec.ramp == "constant"
+        assert spec.defense == "roni"
+        assert spec.roni == config.roni
+        assert spec.test_size == 80
+        assert spec.seed == 23
+        assert spec.measure_clean is False
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+class TestUndefendedStream:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return StreamRunner(tiny_spec()).run()
+
+    def test_one_outcome_per_tick(self, result):
+        assert [o.tick for o in result.ticks] == [1, 2, 3]
+
+    def test_training_accumulates_incrementally(self, result):
+        assert [o.trained_messages for o in result.ticks] == [40, 85, 130]
+
+    def test_attack_all_trained_when_undefended(self, result):
+        for outcome in result.ticks:
+            assert outcome.attack_trained == outcome.attack_sent
+            assert outcome.attack_rejected == 0
+            assert outcome.legitimate_rejected == 0
+
+    def test_dictionary_stream_degrades_the_filter(self, result):
+        before = result.outcome(1).confusion.ham_misclassified_rate
+        after = result.final_ham_misclassification()
+        assert after > before + 0.3
+
+    def test_outcome_lookup_raises_on_unknown_tick(self, result):
+        with pytest.raises(ExperimentError):
+            result.outcome(99)
+
+    def test_no_cutoffs_or_clean_without_the_knobs(self, result):
+        for outcome in result.ticks:
+            assert outcome.ham_cutoff is None
+            assert outcome.clean_confusion is None
+
+    def test_messages_processed_accounting(self, result):
+        # 120 legit + 10 attack arrivals, 3 evaluations of the
+        # 40-message held-out set (no clean counterfactual).
+        assert result.messages_processed() == 130 + 3 * 40
+
+
+class TestCleanCounterfactual:
+    @pytest.fixture(scope="class")
+    def results(self):
+        plain = StreamRunner(tiny_spec()).run()
+        measured = StreamRunner(tiny_spec(measure_clean=True)).run()
+        return plain, measured
+
+    def test_clean_equals_actual_before_the_attack(self, results):
+        _, measured = results
+        first = measured.outcome(1)
+        assert first.clean_confusion is not None
+        assert first.clean_confusion.as_dict() == first.confusion.as_dict()
+
+    def test_clean_track_is_healthier_after_the_attack(self, results):
+        _, measured = results
+        last = measured.ticks[-1]
+        assert (
+            last.clean_confusion.ham_misclassified_rate
+            < last.confusion.ham_misclassified_rate
+        )
+
+    def test_snapshot_rollback_leaves_the_stream_untouched(self, results):
+        # The WAL counterfactual must be a pure measurement: every
+        # actual per-tick confusion is bit-identical with and without
+        # the snapshot/unlearn/restore excursion.
+        plain, measured = results
+        assert [o.confusion.as_dict() for o in measured.ticks] == [
+            o.confusion.as_dict() for o in plain.ticks
+        ]
+        assert [o.trained_messages for o in measured.ticks] == [
+            o.trained_messages for o in plain.ticks
+        ]
+
+    def test_clean_series_rides_the_record(self, results):
+        _, measured = results
+        record = measured.to_record()
+        assert [series.name for series in record.series] == ["stream", "stream-clean"]
+
+    def test_messages_processed_counts_only_real_rescores(self, results):
+        # Tick 1 has no trained attack mail, so its "clean" value is a
+        # copy, not a re-score: 1 + 2 + 2 evaluations of the
+        # 40-message test set on top of the 130 ingested arrivals.
+        _, measured = results
+        assert measured.messages_processed() == 130 + 5 * 40
+
+
+@pytest.mark.slow
+class TestRoniStream:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = tiny_spec(
+            ham_per_tick=30,
+            spam_per_tick=30,
+            attack_start_tick=3,
+            attack_per_tick=6,
+            defense="roni",
+            roni_calibration_size=100,
+        )
+        return StreamRunner(spec).run()
+
+    def test_gate_open_until_history_warms(self, result):
+        # Tick 1 trains with no gate (no history yet).
+        assert result.outcome(1).legitimate_rejected == 0
+
+    def test_dictionary_stream_rejected_once_calibrated(self, result):
+        attacked = [o for o in result.ticks if o.attack_sent > 0]
+        assert attacked
+        for outcome in attacked:
+            assert outcome.attack_rejected == outcome.attack_sent
+            assert outcome.attack_trained == 0
+
+    def test_filter_stays_healthy(self, result):
+        assert result.final_ham_misclassification() < 0.1
+
+    def test_record_config_carries_the_gate_parameters(self, result):
+        config = result.to_record().config
+        assert config["roni_calibration_size"] == 100
+        assert config["roni"]["train_size"] == result.spec.roni.train_size
+        assert config["roni"]["validation_size"] == result.spec.roni.validation_size
+
+
+class TestThresholdStream:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return StreamRunner(tiny_spec(defense="threshold")).run()
+
+    def test_cutoffs_fitted_every_tick(self, result):
+        for outcome in result.ticks:
+            assert outcome.ham_cutoff is not None
+            assert outcome.spam_cutoff is not None
+            assert outcome.ham_cutoff <= outcome.spam_cutoff
+
+    def test_fitted_thresholds_ride_the_record_extras(self, result):
+        record = result.to_record()
+        fits = record.extras["fitted_thresholds"]
+        assert [tick for tick, _, _ in fits] == [1, 2, 3]
+
+    def test_record_config_carries_the_quantile(self, result):
+        config = result.to_record().config
+        assert config["threshold_quantile"] == result.spec.threshold_quantile
+
+
+class TestTickDefenseFactory:
+    def test_names_map_to_classes(self):
+        table = TokenTable()
+        assert type(build_tick_defense(tiny_spec(), table)) is TickDefense
+        assert isinstance(
+            build_tick_defense(
+                tiny_spec(
+                    ham_per_tick=30,
+                    spam_per_tick=30,
+                    defense="roni",
+                    roni_calibration_size=100,
+                ),
+                table,
+            ),
+            RoniTickDefense,
+        )
+        assert isinstance(
+            build_tick_defense(tiny_spec(defense="threshold"), table),
+            ThresholdTickDefense,
+        )
+
+
+# ----------------------------------------------------------------------
+# Records and the results layer
+# ----------------------------------------------------------------------
+
+
+class TestStreamRecords:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return StreamRunner(tiny_spec()).run().to_record()
+
+    def test_series_x_is_the_tick_number(self, record):
+        (series,) = record.series
+        assert series.name == "stream"
+        assert series.xs() == [1.0, 2.0, 3.0]
+
+    def test_round_trips_through_json(self, record):
+        restored = ExperimentRecord.from_dict(json.loads(json.dumps(record.as_dict())))
+        assert restored.as_dict() == record.as_dict()
+
+    def test_extras_carry_the_gate_counters(self, record):
+        assert record.extras["attack_sent"] == [0, 5, 5]
+        assert record.extras["attack_trained"] == [0, 5, 5]
+        assert record.extras["trained_messages"] == [40, 85, 130]
+
+    def test_config_block_names_the_schedule(self, record):
+        assert record.config["ramp"] == "constant"
+        assert record.config["defense"] == "none"
+        assert record.config["ticks"] == 3
+
+
+# ----------------------------------------------------------------------
+# Engine and registry integration
+# ----------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_protocol_entry_point_matches_direct_runner(self, suite_workers):
+        spec = tiny_spec(workers=suite_workers)
+        via_engine = run_stream_experiment(spec)
+        direct = StreamRunner(tiny_spec()).run()
+        assert [o.confusion.as_dict() for o in via_engine.ticks] == [
+            o.confusion.as_dict() for o in direct.ticks
+        ]
+
+    def test_six_stream_scenarios_registered(self):
+        names = [s.name for s in list_scenarios() if s.protocol == "stream"]
+        assert names == [
+            "stream-clean-control",
+            "stream-dictionary-ramp",
+            "stream-dictionary-vs-roni",
+            "stream-focused-vs-roni",
+            "stream-threshold-over-time",
+            "stream-usenet-burst",
+        ]
+
+    def test_registered_defaults_build(self):
+        for spec in list_scenarios(lambda s: s.protocol == "stream"):
+            config = spec.build_config()
+            assert isinstance(config, StreamSpec)
+
+    def test_run_scenario_applies_overrides(self, suite_workers):
+        outcome = run_scenario(
+            "stream-clean-control", overrides=dict(TINY), workers=suite_workers
+        )
+        assert outcome.record is not None
+        assert outcome.result.ticks[-1].attack_sent == 5  # override beats default 0
+
+    def test_clean_control_default_has_no_attack(self):
+        spec = get_scenario("stream-clean-control").build_config(
+            ticks=2, ham_per_tick=15, spam_per_tick=15, test_size=30
+        )
+        assert spec.tick_attack_counts() == (0, 0)
+        result = StreamRunner(spec).run()
+        assert all(o.attack_sent == 0 for o in result.ticks)
