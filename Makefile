@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream docs-check check
+.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream bench-large docs-check check
 
 # Tier-1 gate: the full test suite, fail-fast.
 test:
@@ -44,6 +44,15 @@ bench-replication:
 # benchmarks/results/BENCH_stream.json.
 bench-stream:
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale small --workers 2
+
+# The headline perf scale: big enough that the NumPy kernel's
+# fold-scoring speedup and the pooled engines' fixed costs are
+# measured against real work, small enough for a CI job.  Writes
+# BENCH_*.large.json records into benchmarks/results/.
+bench-large:
+	$(PYTHON) benchmarks/bench_classifier_core.py --scale large
+	$(PYTHON) benchmarks/bench_replication.py --scale large --workers 2
+	$(PYTHON) benchmarks/bench_stream_throughput.py --scale large --workers 2
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

@@ -73,6 +73,19 @@ _SCALES = {
             attack_fractions=(0.0, 0.01, 0.05),
         ),
     ),
+    # Enough replica work that the pooled path's fixed costs (pool
+    # startup, shared-memory publish, task pickling) amortize to noise;
+    # the shared-corpus transport ships each replica's inbox once.
+    "large": (
+        24,
+        dict(
+            inbox_size=320,
+            folds=3,
+            corpus_ham=240,
+            corpus_spam=240,
+            attack_fractions=(0.0, 0.01, 0.02, 0.05),
+        ),
+    ),
 }
 
 

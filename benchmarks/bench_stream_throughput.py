@@ -56,6 +56,13 @@ _SCALES = {
         8,
         dict(ticks=6, ham_per_tick=40, spam_per_tick=40, test_size=120),
     ),
+    # Long streams with big per-tick evaluations: the bulk scoring
+    # kernel does most of the work, and each whole-stream replica is a
+    # single engine task riding the tiny-map direct path.
+    "large": (
+        12,
+        dict(ticks=10, ham_per_tick=60, spam_per_tick=60, test_size=200),
+    ),
 }
 
 

@@ -52,6 +52,7 @@ from repro.corpus.dataset import Dataset, LabeledMessage
 from repro.defenses.base_types import DefenseVerdict
 from repro.errors import DefenseError
 from repro.spambayes.classifier import Classifier
+from repro.spambayes.ndkernel import create_classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 from repro.spambayes.token_table import TokenTable
@@ -207,7 +208,7 @@ class RoniDefense:
             sample = pool.sample_inbox(needed, config.spam_fraction, rng)
             train = sample.messages[: config.train_size]
             validation = sample.messages[config.train_size :]
-            classifier = Classifier(options, table=self._table)
+            classifier = create_classifier(options, table=self._table)
             for message in train:
                 classifier.learn_ids(
                     message.token_ids(self._table, tokenizer), message.is_spam

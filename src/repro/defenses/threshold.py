@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.corpus.dataset import Dataset
 from repro.errors import DefenseError
 from repro.spambayes.classifier import Classifier
+from repro.spambayes.ndkernel import create_classifier
 from repro.spambayes.filter import SpamFilter
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
@@ -149,7 +150,7 @@ class DynamicThresholdDefense:
         half_f, half_v = training.split(self.config.split_fraction, rng)
         if not half_f.ham or not half_f.spam or not half_v.ham or not half_v.spam:
             raise DefenseError("both halves need ham and spam to fit thresholds")
-        classifier = Classifier(self.options)
+        classifier = create_classifier(self.options)
         _learn_dataset_grouped(classifier, half_f, self.tokenizer)
         # One bulk pass per class: the validation halves share the
         # kernel's significance memo instead of re-deriving it per

@@ -23,6 +23,13 @@ loop pays pool startup per seed and idles every worker during each
 seed's preparation stage; ``benchmarks/bench_replication.py`` measures
 the difference.
 
+On the NumPy kernel, each replica's encoded inbox crosses into the
+pool as a shared-memory CSR segment
+(:mod:`repro.engine.sharedmem`) rather than a per-map pickle; the
+pool adopts every segment shipped through it and unlinks them all
+when the ``with WorkerPool(...)`` block closes, so a replication
+leaves ``/dev/shm`` exactly as it found it.
+
 **Determinism.**  Replica ``i`` runs at root seed
 ``spawn_seed(base_seed, "replicate") || "replica:i"`` — a pure
 function of ``(base_seed, i)``, independent of thread scheduling,

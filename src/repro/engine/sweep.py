@@ -50,9 +50,11 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.attacks.base import Attack, AttackBatch
 from repro.corpus.dataset import Dataset, LabeledMessage
-from repro.engine.runner import ParallelRunner
+from repro.engine import sharedmem
+from repro.engine.runner import ParallelRunner, active_worker_pool, resolve_workers
 from repro.engine.seeding import drawn_seeds
 from repro.errors import EngineError, ExperimentError
+from repro.spambayes import ndkernel
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
@@ -333,14 +335,31 @@ class _SweepContext:
     frozenset representation.  ``full_model`` shares the same table
     object, so the arrays index directly into its count columns on the
     other side of the pickle.
+
+    When ``corpus`` is set (parallel runs on the NumPy kernel), the
+    encoded inbox travels as a shared-memory handle instead of the
+    ``token_ids`` tuple: workers attach the one published CSR segment
+    read-only and the context pickle shrinks from the whole inbox to a
+    segment name.  :meth:`shared_corpora` is the hook
+    :class:`~repro.engine.runner.WorkerPool` adopts segments through.
     """
 
-    token_ids: tuple[array, ...]
+    token_ids: tuple[array, ...] | None
     labels: tuple[bool, ...]
     specs: dict[str, _SpecPayload]
     options: ClassifierOptions
     table: TokenTable
     full_model: Classifier | None
+    corpus: "sharedmem.SharedCorpus | sharedmem.InlineCorpus | None" = None
+
+    def rows(self) -> Sequence:
+        """Per-message ID arrays, whichever transport carried them."""
+        if self.corpus is not None:
+            return self.corpus.rows_list()
+        return self.token_ids
+
+    def shared_corpora(self):
+        return [self.corpus] if self.corpus is not None else []
 
 
 def _grouped_id_indices(
@@ -348,7 +367,7 @@ def _grouped_id_indices(
 ) -> list[tuple[array, bool, int]]:
     """Collapse index lists into (token_ids, is_spam, count) groups."""
     groups: dict[tuple[bool, bytes], list] = {}
-    token_ids = context.token_ids
+    token_ids = context.rows()
     labels = context.labels
     for i in indices:
         ids = token_ids[i]
@@ -369,7 +388,7 @@ def _fold_classifier(context: _SweepContext, task: _FoldTask):
         for ids, is_spam, count in _grouped_id_indices(context, task.test_indices):
             classifier.unlearn_ids_repeated(ids, is_spam, count)
         return classifier, snap
-    classifier = Classifier(context.options, table=context.table)
+    classifier = ndkernel.create_classifier(context.options, table=context.table)
     for ids, is_spam, count in _grouped_id_indices(context, task.train_indices):
         classifier.learn_ids_repeated(ids, is_spam, count)
     return classifier, None
@@ -384,7 +403,14 @@ def _evaluate_indices(
     ham_cutoff = classifier.options.ham_cutoff
     spam_cutoff = classifier.options.spam_cutoff
     kept = [i for i in indices if not (ham_only and context.labels[i])]
-    scores = classifier.score_many_ids([context.token_ids[i] for i in kept])
+    corpus = context.corpus
+    if corpus is not None and isinstance(classifier, ndkernel.NDClassifier):
+        # Fold stripes are scored cold after every contamination step,
+        # so the CSR bulk path (no per-row Python assembly) wins here.
+        scores = classifier.score_csr(corpus.as_csr(), rows=kept)
+    else:
+        rows = context.rows()
+        scores = classifier.score_many_ids([rows[i] for i in kept])
     counts = _confusion_counts()()
     for i, score in zip(kept, scores):
         if score <= ham_cutoff:
@@ -462,17 +488,37 @@ def run_attack_sweeps(
     table = inbox.encode(table, tokenizer)
     full_model: Classifier | None = None
     if reuse_clean_model:
-        full_model = Classifier(options, table=table)
+        full_model = ndkernel.create_classifier(options, table=table)
         train_grouped(full_model, inbox, tokenizer)
+
+    # In parallel runs on the NumPy kernel the encoded inbox crosses
+    # process boundaries as ONE shared-memory CSR segment (a handle in
+    # the pickle) instead of a tuple of per-message arrays.  A shared
+    # WorkerPool adopts the segment and unlinks it at shutdown; a
+    # private pool's segment is unlinked as soon as its map returns.
+    pool = active_worker_pool()
+    parallel = pool is not None or (resolve_workers(workers) > 1 and len(tasks) > 1)
+    corpus = None
+    token_ids: tuple[array, ...] | None = tuple(
+        message.token_ids(table, tokenizer) for message in inbox
+    )
+    if parallel and ndkernel.classifier_class() is ndkernel.NDClassifier:
+        corpus = sharedmem.share_corpus(ndkernel.CsrMatrix.from_rows(token_ids))
+        token_ids = None
     context = _SweepContext(
-        token_ids=tuple(message.token_ids(table, tokenizer) for message in inbox),
+        token_ids=token_ids,
         labels=tuple(message.is_spam for message in inbox),
         specs=payloads,
         options=options,
         table=table,
         full_model=full_model,
+        corpus=corpus,
     )
-    per_task = ParallelRunner(workers).map(_run_fold_task, context, tasks)
+    try:
+        per_task = ParallelRunner(workers).map(_run_fold_task, context, tasks)
+    finally:
+        if corpus is not None and pool is None:
+            corpus.unlink()
 
     confusion_counts = _confusion_counts()
     results: dict[str, SweepResult] = {}

@@ -49,6 +49,7 @@ from repro.errors import ExperimentError
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
+from repro.spambayes.ndkernel import create_classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.options import ClassifierOptions, DEFAULT_OPTIONS
 
@@ -163,7 +164,7 @@ def _prepare_one_repetition(context: _PrepareContext, rep: int) -> _Repetition:
             f"only {len(candidates)} ham outside the inbox; need {config.n_targets} targets"
         )
     targets = rep_rng.sample(candidates, config.n_targets)
-    classifier = Classifier(config.options)
+    classifier = create_classifier(config.options)
     train_grouped(classifier, inbox)
     header_pool = [message.email for message in inbox.spam]
     return _Repetition(classifier, targets, header_pool)

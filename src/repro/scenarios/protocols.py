@@ -48,6 +48,7 @@ from repro.experiments.metrics import ConfusionCounts
 from repro.experiments.results import CurvePoint
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
+from repro.spambayes.ndkernel import create_classifier
 from repro.spambayes.filter import Label
 from repro.spambayes.tokenizer import DEFAULT_TOKENIZER
 from repro.stream.runner import run_stream_experiment
@@ -262,7 +263,7 @@ def run_goodword_evasion(
     from repro.attacks.goodword import CommonWordGoodWordAttack, OracleGoodWordAttack
 
     prepared = prepare_inbox(config, spawn_label="goodword-experiment")
-    classifier = Classifier(config.options, table=prepared.table)
+    classifier = create_classifier(config.options, table=prepared.table)
     train_grouped(classifier, prepared.inbox)
 
     inbox_ids = {m.msgid for m in prepared.inbox}
@@ -420,7 +421,7 @@ def run_threshold_arms(
     ]
     # The inbox's shared table: the full model's count columns, the
     # pre-encoded message arrays and every fold worker all index by it.
-    full_model = Classifier(config.options, table=prepared.table)
+    full_model = create_classifier(config.options, table=prepared.table)
     train_grouped(full_model, prepared.inbox)
     context = threshold_exp._FoldContext(
         inbox=prepared.inbox,

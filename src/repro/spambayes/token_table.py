@@ -48,11 +48,12 @@ TOKEN_ID_TYPECODE = "l"
 class TokenTable:
     """Append-only bidirectional ``str <-> int`` token registry."""
 
-    __slots__ = ("_ids", "_tokens")
+    __slots__ = ("_ids", "_tokens", "_rank_cache")
 
     def __init__(self, tokens: Iterable[str] = ()) -> None:
         self._ids: dict[str, int] = {}
         self._tokens: list[str] = []
+        self._rank_cache: array | None = None
         for token in tokens:
             self.intern(token)
 
@@ -118,6 +119,28 @@ class TokenTable:
         tokens = self._tokens
         return [tokens[tid] for tid in ids]
 
+    def text_order_ranks(self) -> array:
+        """Rank of each token's text in the table's sorted vocabulary.
+
+        ``ranks[tid]`` is the position token ``tid`` would occupy if the
+        vocabulary were sorted by text.  The vectorized scoring kernel
+        uses these ranks to reproduce the pure-Python combiner's
+        ``(−strength, token text)`` tie-break without comparing strings
+        per message.  The array is cached and rebuilt only when the
+        table has grown (the table is append-only, so its length is a
+        complete cache key); Python's ``sorted`` does the ordering, so
+        the rank order is exactly the string order the pure core sees.
+        """
+        cached = self._rank_cache
+        n = len(self._tokens)
+        if cached is None or len(cached) != n:
+            ranks = array(TOKEN_ID_TYPECODE, bytes(n * array(TOKEN_ID_TYPECODE).itemsize))
+            order = sorted(range(n), key=self._tokens.__getitem__)
+            for rank, tid in enumerate(order):
+                ranks[tid] = rank
+            self._rank_cache = cached = ranks
+        return cached
+
     # ------------------------------------------------------------------
     # Container behaviour
     # ------------------------------------------------------------------
@@ -142,6 +165,7 @@ class TokenTable:
     def __setstate__(self, tokens: list[str]) -> None:
         self._tokens = tokens
         self._ids = {token: tid for tid, token in enumerate(tokens)}
+        self._rank_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TokenTable(len={len(self._tokens)})"

@@ -61,6 +61,7 @@ from repro.experiments.metrics import ConfusionCounts
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
+from repro.spambayes.ndkernel import create_classifier
 from repro.stream.defenses import build_tick_defense
 from repro.stream.spec import StreamSpec
 
@@ -271,7 +272,7 @@ class StreamRunner:
         spawner, ham_stream, spam_stream, test, attack = self._prepare()
         counts = spec.tick_attack_counts()
 
-        classifier = Classifier(spec.options)
+        classifier = create_classifier(spec.options)
         # Encode the held-out set once against the stream's table: every
         # tick's evaluation is then one score_many_ids pass over cached
         # ID arrays (the table is append-only, so the arrays never go

@@ -1,119 +1,46 @@
 #!/usr/bin/env python3
-"""Coverage-floor gate for the streaming engine.
+"""Back-compat shim: the coverage gate moved to ``check_coverage.py``.
 
-Reads a Cobertura-format ``coverage.xml`` (what ``pytest --cov=repro
---cov-report=xml`` writes) and fails unless every measured region
-meets its floor.  The policy, enforced by the CI coverage leg:
+This entry point predates the per-package floor policy; it gated only
+``src/repro/stream/``.  It now delegates to
+:mod:`tools.check_coverage`, translating the old single-prefix flags
+into one ``--region`` declaration so existing invocations keep
+working::
 
-* ``src/repro/stream/`` — new code ships covered: the streaming
-  subsystem's pooled line rate must be at least ``--floor`` percent
-  (default 90);
-* optionally (``--total-floor``), the whole ``repro`` package must
-  meet a (lower) overall floor.
-
-Only the stdlib ``xml.etree`` is used, so the gate itself needs no
-third-party packages — only the producing pytest run needs
-``pytest-cov``.
-
-Run (as CI does)::
-
-    PYTHONPATH=src python -m pytest --cov=repro --cov-report=xml:coverage.xml
     python tools/check_stream_coverage.py coverage.xml --floor 90
 
-Exit status 0 when every floor holds, 1 otherwise (with a per-file
-report of the offending region).
+is exactly::
+
+    python tools/check_coverage.py coverage.xml --region repro/stream/=90
+
+Prefer ``check_coverage.py`` directly — it also enforces the NumPy
+kernel and shared-memory transport floors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import xml.etree.ElementTree as ET
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from check_coverage import main as _check_coverage_main, measure  # noqa: E402
+
 __all__ = ["measure", "main"]
-
-
-def measure(coverage_xml: Path, prefix: str) -> tuple[int, int, list[tuple[str, int, int]]]:
-    """Pooled (covered, total) line counts for files under ``prefix``.
-
-    Returns ``(covered, total, per_file)`` where ``per_file`` holds
-    ``(filename, covered, total)`` rows.  Filenames in the report are
-    relative to the source root pytest-cov ran under, so ``prefix`` is
-    matched against both the raw filename and its tail (an absolute
-    ``src/`` root keeps ``repro/stream/...`` intact either way).
-    """
-    tree = ET.parse(coverage_xml)
-    covered = total = 0
-    per_file: list[tuple[str, int, int]] = []
-    for cls in tree.iter("class"):
-        filename = cls.get("filename", "")
-        normalized = filename.replace("\\", "/")
-        if not (normalized.startswith(prefix) or f"/{prefix}" in f"/{normalized}"):
-            continue
-        file_covered = file_total = 0
-        for line in cls.iter("line"):
-            file_total += 1
-            if int(line.get("hits", "0")) > 0:
-                file_covered += 1
-        covered += file_covered
-        total += file_total
-        per_file.append((filename, file_covered, file_total))
-    return covered, total, per_file
-
-
-def _percent(covered: int, total: int) -> float:
-    return 100.0 * covered / total if total else 0.0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("coverage_xml", type=Path, help="Cobertura XML report")
-    parser.add_argument(
-        "--prefix",
-        default="repro/stream/",
-        help="source prefix the floor applies to (default: repro/stream/)",
-    )
-    parser.add_argument(
-        "--floor",
-        type=float,
-        default=90.0,
-        help="minimum pooled line coverage percent for --prefix (default 90)",
-    )
-    parser.add_argument(
-        "--total-floor",
-        type=float,
-        default=None,
-        help="optional minimum for the whole report",
-    )
+    parser.add_argument("--prefix", default="repro/stream/")
+    parser.add_argument("--floor", type=float, default=90.0)
+    parser.add_argument("--total-floor", type=float, default=None)
     args = parser.parse_args(argv)
-
-    if not args.coverage_xml.exists():
-        print(f"coverage gate: report {args.coverage_xml} does not exist")
-        return 1
-    covered, total, per_file = measure(args.coverage_xml, args.prefix)
-    if total == 0:
-        print(f"coverage gate: no measured lines under {args.prefix!r}")
-        return 1
-    rate = _percent(covered, total)
-    print(f"coverage gate: {args.prefix} {covered}/{total} lines = {rate:.1f}% "
-          f"(floor {args.floor:.0f}%)")
-    for filename, file_covered, file_total in sorted(per_file):
-        print(f"  {filename}: {_percent(file_covered, file_total):5.1f}% "
-              f"({file_covered}/{file_total})")
-    failed = rate < args.floor
-    if failed:
-        print(f"coverage gate: FAIL — {args.prefix} below the {args.floor:.0f}% floor")
-
+    forwarded = [str(args.coverage_xml), "--region", f"{args.prefix}={args.floor}"]
     if args.total_floor is not None:
-        all_covered, all_total, _ = measure(args.coverage_xml, "")
-        all_rate = _percent(all_covered, all_total)
-        print(f"coverage gate: total {all_covered}/{all_total} lines = "
-              f"{all_rate:.1f}% (floor {args.total_floor:.0f}%)")
-        if all_rate < args.total_floor:
-            print("coverage gate: FAIL — total coverage below floor")
-            failed = True
-    return 1 if failed else 0
+        forwarded += ["--total-floor", str(args.total_floor)]
+    return _check_coverage_main(forwarded)
 
 
 if __name__ == "__main__":
