@@ -34,6 +34,21 @@ JSON record — is byte-identical at any worker count and any
 repetitions, targets) out over N processes through
 :mod:`repro.engine`; ``0`` means one per CPU.  Results — text and
 JSON — are identical at any worker count.
+
+``--timeout SECONDS`` / ``--retries N`` (on ``run-scenario`` and
+``replicate``) activate the engine's supervision layer
+(:mod:`repro.engine.supervise`): wedged workers are killed at the
+deadline, crashed pools are respawned and unfinished chunks retried,
+and after N rounds the run degrades to in-process execution rather
+than dying — with identical results on every path.  ``replicate
+--resume DIR`` checkpoints each replica record into ``DIR`` as it
+completes and loads completed replicas on restart, so a killed
+replication resumes where it stopped with byte-identical pooled
+output.  ``gc-shm`` reclaims shared-memory segments orphaned in
+``/dev/shm`` by killed runs.
+
+Engine and experiment failures exit with a one-line ``error: ...``
+diagnostic and status 2 — never a traceback.
 """
 
 from __future__ import annotations
@@ -152,8 +167,13 @@ ARTIFACTS: dict[str, Callable] = {
 example; they need no sweep, only a rendered analysis.)"""
 
 
-SCENARIO_COMMANDS: tuple[str, ...] = ("list-scenarios", "run-scenario", "replicate")
-"""Registry-facing subcommands, dispatched ahead of artifact parsing."""
+SCENARIO_COMMANDS: tuple[str, ...] = (
+    "list-scenarios",
+    "run-scenario",
+    "replicate",
+    "gc-shm",
+)
+"""Non-artifact subcommands, dispatched ahead of artifact parsing."""
 
 _SCENARIO_RENDERERS: dict[str, Callable] = {
     "dictionary-sweep": render_dictionary_result,
@@ -190,6 +210,42 @@ def _parse_override(assignment: str) -> tuple[str, Any]:
 def _parse_overrides(assignments: list[str]) -> dict[str, Any]:
     """All ``--set`` pairs of one invocation, last one per key winning."""
     return dict(_parse_override(assignment) for assignment in assignments)
+
+
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline for each parallel dispatch wave; chunks that miss "
+        "it have their workers killed and are retried on a fresh pool",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="respawn-and-retry rounds on worker crash/timeout before the "
+        "run degrades to in-process sequential execution (results are "
+        "identical on every recovery path)",
+    )
+
+
+def _supervision_policy(args) -> Any:
+    """The supervision policy an invocation asked for, or the ambient
+    one (env: ``REPRO_TIMEOUT``/``REPRO_RETRIES``/``REPRO_FAULTS``)
+    when no flag was given.  ``None`` means unsupervised."""
+    from repro.engine import supervise
+
+    if args.timeout is None and args.retries is None:
+        return supervise.current_policy()
+    base = supervise.policy_from_env() or supervise.SupervisePolicy()
+    return supervise.SupervisePolicy(
+        timeout=base.timeout if args.timeout is None else args.timeout,
+        retries=base.retries if args.retries is None else args.retries,
+        degrade=base.degrade,
+    )
 
 
 def build_run_scenario_parser() -> argparse.ArgumentParser:
@@ -230,6 +286,7 @@ def build_run_scenario_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the .txt artifact and .json record",
     )
+    _add_supervision_args(parser)
     return parser
 
 
@@ -290,12 +347,15 @@ def _scenario_config(spec, args) -> Any:
 def _main_run_scenario(argv: list[str]) -> int:
     from repro.scenarios import get_scenario, run_scenario
 
+    from repro.engine import supervise
+
     args = build_run_scenario_parser().parse_args(argv)
     try:
         spec = get_scenario(args.name)
         config = _scenario_config(spec, args)
         print(f"=== scenario {spec.name} (scale={args.scale}, seed={config.seed}) ===")
-        outcome = run_scenario(spec, config=config)
+        with supervise.use_supervision(_supervision_policy(args)):
+            outcome = run_scenario(spec, config=config)
     except ReproError as exc:
         # Covers bad names/overrides and execution-time experiment
         # errors (e.g. a --set size the corpus cannot satisfy) — user
@@ -371,6 +431,17 @@ def build_replicate_parser() -> argparse.ArgumentParser:
         help="file for the pooled JSON record (byte-identical across "
         "runs, worker counts and hash seeds)",
     )
+    parser.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory: each replica record is saved there "
+        "as it completes, and completed replicas are loaded instead of "
+        "re-run — a killed replication resumes with byte-identical "
+        "pooled output",
+    )
+    _add_supervision_args(parser)
     return parser
 
 
@@ -407,15 +478,19 @@ def _main_replicate(argv: list[str]) -> int:
             f"=== replicate {spec.name} (scale={args.scale}, seeds={args.seeds}, "
             f"base_seed={args.seed}) ==="
         )
-        record = replicate_scenario(
-            spec,
-            seeds=args.seeds,
-            base_seed=args.seed,
-            overrides=overrides or None,
-            workers=args.workers,
-            base_config=base_config,
-            extra_config=extra_config,
-        )
+        from repro.engine import supervise
+
+        with supervise.use_supervision(_supervision_policy(args)):
+            record = replicate_scenario(
+                spec,
+                seeds=args.seeds,
+                base_seed=args.seed,
+                overrides=overrides or None,
+                workers=args.workers,
+                base_config=base_config,
+                extra_config=extra_config,
+                checkpoint_dir=None if args.resume is None else str(args.resume),
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -431,6 +506,38 @@ def _main_replicate(argv: list[str]) -> int:
             print(f"error: cannot write --out {args.out}: {exc}", file=sys.stderr)
             return 2
         print(f"wrote {args.out}")
+    return 0
+
+
+def build_gc_shm_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro gc-shm",
+        description="Reclaim repro shared-memory segments orphaned in "
+        "/dev/shm — segments whose publishing process no longer exists "
+        "(it was SIGKILLed, so its cleanup never ran).",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="also unlink segments whose publisher is still alive (for "
+        "wedged runs you have already decided to kill; live runs using "
+        "those segments will fail)",
+    )
+    return parser
+
+
+def _main_gc_shm(argv: list[str]) -> int:
+    from repro.engine import sharedmem
+
+    args = build_gc_shm_parser().parse_args(argv)
+    try:
+        reclaimed = sharedmem.gc_segments(include_live=args.all)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name in reclaimed:
+        print(f"unlinked /dev/shm/{name}")
+    print(f"{len(reclaimed)} segment(s) reclaimed")
     return 0
 
 
@@ -493,20 +600,29 @@ def main(argv: list[str] | None = None) -> int:
         return _main_run_scenario(argv[1:])
     if argv and argv[0] == "replicate":
         return _main_replicate(argv[1:])
+    if argv and argv[0] == "gc-shm":
+        return _main_gc_shm(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(ARTIFACTS) if "all" in args.artifacts else list(dict.fromkeys(args.artifacts))
-    if args.out is not None:
-        args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        runner = ARTIFACTS[name]
-        print(f"=== {name} (scale={args.scale}, seed={args.seed}) ===")
-        _, text, record = runner(args.scale, args.seed, args.workers)
-        print(text)
-        print()
+    try:
         if args.out is not None:
-            (args.out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-            if record is not None:
-                save_record(record, args.out / f"{name}.json")
+            args.out.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            runner = ARTIFACTS[name]
+            print(f"=== {name} (scale={args.scale}, seed={args.seed}) ===")
+            _, text, record = runner(args.scale, args.seed, args.workers)
+            print(text)
+            print()
+            if args.out is not None:
+                (args.out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+                if record is not None:
+                    save_record(record, args.out / f"{name}.json")
+    except ReproError as exc:
+        # Engine failures (worker crashes past the retry budget, map
+        # deadlines, lost segments) and experiment errors alike: one
+        # diagnostic line and a nonzero exit, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

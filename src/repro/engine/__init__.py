@@ -22,14 +22,32 @@ those units across worker processes without changing a single result:
   :class:`~repro.experiments.results.ReplicatedRecord` with per-point
   mean/std/95%-CI error bars.  (Imported lazily by
   :mod:`repro.scenarios`, which re-exports ``replicate_scenario``.)
+* :mod:`repro.engine.supervise` — worker supervision: per-wave chunk
+  deadlines, crash detection with pool respawn, bounded retry, and
+  graceful degradation to in-process execution — all preserving the
+  engine's bit-identical determinism contract;
+* :mod:`repro.engine.faults` — deterministic, seed-driven fault
+  injection (``REPRO_FAULTS``) that makes those failure paths
+  routinely executable in tests and CI;
+* :mod:`repro.engine.checkpoint` — per-replica checkpoints so a killed
+  replication resumes, reproducing uninterrupted output byte-for-byte.
 
 Every experiment driver accepts ``workers`` in its config (surfaced as
 ``--workers N`` on the CLI).  The default of 1 runs everything in the
 parent process; any other value changes wall-clock time only.
 """
 
+from repro.engine.checkpoint import ReplicaStore
+from repro.engine.faults import FaultPlan, FaultSpec, parse_faults, use_faults
 from repro.engine.runner import ParallelRunner, WorkerPool, resolve_workers, use_worker_pool
 from repro.engine.seeding import drawn_seeds, resolve_root_seed
+from repro.engine.supervise import (
+    SupervisePolicy,
+    SupervisedPool,
+    current_policy,
+    supervised_map,
+    use_supervision,
+)
 from repro.engine.sweep import (
     AttackSweepPoint,
     IncrementalAttackTrainer,
@@ -44,9 +62,19 @@ from repro.engine.sweep import (
 )
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
     "ParallelRunner",
+    "ReplicaStore",
+    "SupervisePolicy",
+    "SupervisedPool",
     "WorkerPool",
+    "current_policy",
+    "parse_faults",
     "resolve_workers",
+    "supervised_map",
+    "use_faults",
+    "use_supervision",
     "use_worker_pool",
     "drawn_seeds",
     "resolve_root_seed",

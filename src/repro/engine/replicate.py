@@ -48,6 +48,8 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import replace
 from typing import Any, Mapping, Sequence, TYPE_CHECKING
 
+from repro.engine import supervise
+from repro.engine.checkpoint import ReplicaStore
 from repro.engine.runner import WorkerPool, resolve_workers, use_worker_pool
 from repro.errors import EngineError
 from repro.experiments.results import ExperimentRecord, ReplicatedRecord
@@ -99,6 +101,7 @@ def replicate_scenario(
     workers: int | None = 1,
     base_config: Any | None = None,
     extra_config: Mapping[str, Any] | None = None,
+    checkpoint_dir: str | None = None,
 ) -> ReplicatedRecord:
     """Run ``scenario`` at N seeds and pool the results.
 
@@ -118,6 +121,16 @@ def replicate_scenario(
     parent process.  ``workers > 1`` flattens every replica's internal
     fan-out into one shared :class:`WorkerPool` (see the module
     docstring).  The returned record is identical either way.
+
+    ``checkpoint_dir`` makes the replication resumable: each replica
+    record is persisted (atomically) the moment it completes, replicas
+    already checkpointed there are loaded instead of re-run, and
+    because every record is a pure function of its seed the pooled
+    output is byte-identical to an uninterrupted run.  When a
+    supervision policy is ambient (:func:`repro.engine.supervise.current_policy`)
+    the shared pool is a :class:`~repro.engine.supervise.SupervisedPool`,
+    so worker crashes and hangs inside any replica are retried rather
+    than fatal.
     """
     from repro.scenarios import run_scenario  # late: import cycle
 
@@ -161,35 +174,55 @@ def replicate_scenario(
             )
         return outcome.record
 
-    if pool_workers <= 1 or len(seed_list) == 1:
+    store = ReplicaStore(checkpoint_dir, spec.name) if checkpoint_dir else None
+    records: list[ExperimentRecord | None] = [None] * len(seed_list)
+    todo = list(range(len(seed_list)))
+    if store is not None:
+        todo = []
+        for index, seed in enumerate(seed_list):
+            cached = store.load(seed)
+            if cached is not None:
+                records[index] = cached
+            else:
+                todo.append(index)
+
+    def finish_replica(index: int, record: ExperimentRecord) -> None:
+        records[index] = record
+        if store is not None:
+            store.save(seed_list[index], record)
+
+    policy = supervise.current_policy()
+    if pool_workers <= 1 or len(todo) <= 1:
         # No flattening possible — but a lone replica still honours the
         # caller's worker count through its own private fold fan-out.
-        config_workers = pool_workers if len(seed_list) == 1 else 1
-        records = [run_replica(seed, config_workers) for seed in seed_list]
+        config_workers = pool_workers if len(todo) == 1 else 1
+        for index in todo:
+            finish_replica(index, run_replica(seed_list[index], config_workers))
     else:
-        records = [None] * len(seed_list)  # type: ignore[list-item]
         # One replica thread per pool worker: a replica thread spends
         # most of its life blocked on pool results, so whenever one is
         # in its parent-side preparation stage (corpus generation,
         # full-model training) the other threads' queued fold tasks
         # keep the workers busy.  Exceeding the pool width buys no
         # further queue depth worth its GIL churn (measured).
-        thread_count = min(len(seed_list), max(2, pool_workers))
-        with WorkerPool(pool_workers) as pool:
+        thread_count = min(len(todo), max(2, pool_workers))
+        pool_factory = (
+            (lambda: supervise.SupervisedPool(pool_workers, policy=policy))
+            if policy is not None
+            else (lambda: WorkerPool(pool_workers))
+        )
+        with pool_factory() as pool:
 
             def threaded_replica(index: int) -> tuple[int, ExperimentRecord]:
-                with use_worker_pool(pool):
+                with use_worker_pool(pool), supervise.use_supervision(policy):
                     return index, run_replica(seed_list[index], pool_workers)
 
             with ThreadPoolExecutor(max_workers=thread_count) as threads:
-                futures = [
-                    threads.submit(threaded_replica, index)
-                    for index in range(len(seed_list))
-                ]
+                futures = [threads.submit(threaded_replica, index) for index in todo]
                 try:
                     for future in as_completed(futures):
                         index, record = future.result()
-                        records[index] = record
+                        finish_replica(index, record)
                 except BaseException:
                     for future in futures:
                         future.cancel()

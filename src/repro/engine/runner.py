@@ -57,11 +57,11 @@ import os
 import pickle
 import threading
 from collections import OrderedDict
-from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed, wait
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence, TypeVar
 
-from repro.engine import sharedmem
+from repro.engine import faults, sharedmem
 from repro.errors import EngineError
 
 __all__ = [
@@ -84,6 +84,7 @@ def _initialize_worker(fn: Callable[[Any, Any], Any], context: Any) -> None:
     global _worker_fn, _worker_context
     _worker_fn = fn
     _worker_context = context
+    faults.mark_worker_process()
 
 
 def _run_indexed_task(index: int, task: Any) -> tuple[int, Any]:
@@ -119,10 +120,15 @@ _shared_entry_slots = 8
 def _initialize_shared_worker(slots: int) -> None:
     global _shared_entry_slots
     _shared_entry_slots = slots
+    faults.mark_worker_process()
 
 
 def _run_shared_chunk(
-    token: tuple[int, int], blob: bytes, start: int, tasks: Sequence[Any]
+    token: tuple[int, int],
+    blob: bytes,
+    start: int,
+    tasks: Sequence[Any],
+    fault_key: str | None = None,
 ) -> tuple[int, list[Any]]:
     entry = _shared_entries.get(token)
     if entry is None:
@@ -133,7 +139,16 @@ def _run_shared_chunk(
     else:
         _shared_entries.move_to_end(token)
     fn, context = entry
-    return start, [fn(context, task) for task in tasks]
+    results: list[Any] = []
+    for offset, task in enumerate(tasks):
+        if fault_key is not None:
+            # Mid-chunk injection point: a crash here discards the
+            # chunk's partial results with the process, so the retry
+            # recomputes the whole chunk from a freshly-unpickled
+            # context — which is what keeps retries bit-identical.
+            faults.inject("worker-chunk", f"{fault_key}:{offset}")
+        results.append(fn(context, task))
+    return start, results
 
 
 def _run_direct_task(fn: Callable[[Any, Any], Any], context: Any, task: Any) -> Any:
@@ -171,6 +186,51 @@ def _chunked(tasks: Sequence[Any], chunks: int) -> Iterator[tuple[int, Sequence[
         start += size
 
 
+def _drain(futures: Sequence[Any]) -> None:
+    """Cancel what can be cancelled, then wait out what cannot.
+
+    A failed map must not leave in-flight sibling tasks running
+    unattended: their completions would interleave with (and in the
+    shared-cache worst case, race) whatever the caller submits next.
+    Cancelled futures resolve immediately; already-running ones are
+    waited to completion.  Exceptions stay inside their futures.
+    """
+    for future in futures:
+        future.cancel()
+    wait(futures)
+
+
+def _kill_executor(executor: Executor) -> None:
+    """Tear an executor down even when its workers are dead or wedged.
+
+    ``shutdown(wait=True)`` on a pool with a hung worker blocks until
+    the worker comes back — which a wedged worker never does.  So:
+    terminate every worker process first (SIGTERM, then SIGKILL for
+    any survivor), then shut the bookkeeping down without waiting.
+    Reaches into ``_processes`` (stable private API since 3.8); if it
+    ever disappears, the fallback is a plain non-waiting shutdown.
+    """
+    process_map = getattr(executor, "_processes", None)
+    processes = list(process_map.values()) if process_map else []
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken pools may complain
+        pass
+    for process in processes:
+        try:
+            process.join(5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                process.kill()
+                process.join(5.0)
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
+            pass
+
+
 class WorkerPool:
     """A persistent process pool shared by many ``map`` calls.
 
@@ -193,7 +253,23 @@ class WorkerPool:
                 f"a shared WorkerPool needs >= 2 workers, got {self.workers}; "
                 "run sequentially instead"
             )
-        self._executor: Executor = ProcessPoolExecutor(
+        self._executor: Executor = self._spawn_executor()
+        self._lock = threading.Lock()
+        self._next_token = 0
+        self._closed = False
+        # Bumped on every respawn: a supervised map that saw the pool
+        # break hands its generation back, so concurrent threads that
+        # hit the same broken executor trigger exactly one respawn.
+        self._generation = 0
+        # Shared-memory corpus segments whose lifetime is tied to this
+        # pool: adopted on the first map call that ships them, unlinked
+        # after shutdown (workers can no longer attach a name once the
+        # pool is drained).  They deliberately survive respawns — a
+        # fresh worker set re-attaches the same names.
+        self._adopted_segments: dict[str, "sharedmem.SharedCorpus"] = {}
+
+    def _spawn_executor(self) -> Executor:
+        executor = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_initialize_shared_worker,
             # Live map calls ≈ replica threads ≈ pool width; headroom
@@ -201,26 +277,49 @@ class WorkerPool:
             # straggler chunks.
             initargs=(self.workers + 4,),
         )
-        # Start the pool NOW, while only the constructing thread
-        # exists.  Stock ProcessPoolExecutor starts lazily on first
-        # submit — which for a shared pool would mean forking workers
-        # from a replica thread, the classic fork-with-threads deadlock
-        # setup.  This is the exact hook submit() itself calls: on the
-        # fork start method it launches every worker process and the
-        # manager thread together.  It is private API; if it
-        # disappears, the pool degrades to stock lazy start rather
-        # than breaking.
-        start = getattr(self._executor, "_start_executor_manager_thread", None)
+        # Start the pool NOW, while (ideally) only the constructing
+        # thread exists.  Stock ProcessPoolExecutor starts lazily on
+        # first submit — which for a shared pool would mean forking
+        # workers from a replica thread, the classic fork-with-threads
+        # deadlock setup.  This is the exact hook submit() itself
+        # calls: on the fork start method it launches every worker
+        # process and the manager thread together.  It is private API;
+        # if it disappears, the pool degrades to stock lazy start
+        # rather than breaking.
+        start = getattr(executor, "_start_executor_manager_thread", None)
         if start is not None:
             start()
-        self._lock = threading.Lock()
-        self._next_token = 0
-        self._closed = False
-        # Shared-memory corpus segments whose lifetime is tied to this
-        # pool: adopted on the first map call that ships them, unlinked
-        # after shutdown (workers can no longer attach a name once the
-        # pool is drained).
-        self._adopted_segments: dict[str, "sharedmem.SharedCorpus"] = {}
+        return executor
+
+    @property
+    def generation(self) -> int:
+        """Current executor incarnation (bumped by :meth:`respawn`)."""
+        return self._generation
+
+    def respawn(self, generation: int | None = None) -> bool:
+        """Replace the worker set with a fresh one (crash recovery).
+
+        Swaps in a new executor, then kills the old one — terminating
+        its processes first, so wedged (hung) workers die instead of
+        blocking shutdown.  Adopted shared-memory segments are kept:
+        their names must stay attachable for the respawned workers,
+        which is the crash-safe half of the segment lifecycle.
+
+        ``generation`` is the incarnation the caller observed broken;
+        if another thread already respawned past it this is a no-op
+        returning False, so N threads hitting one broken executor pay
+        one respawn, not N.
+        """
+        with self._lock:
+            if self._closed:
+                raise EngineError("WorkerPool is closed")
+            if generation is not None and generation != self._generation:
+                return False
+            old = self._executor
+            self._executor = self._spawn_executor()
+            self._generation += 1
+        _kill_executor(old)
+        return True
 
     def _token(self) -> tuple[int, int]:
         with self._lock:
@@ -257,8 +356,7 @@ class WorkerPool:
             try:
                 return [future.result() for future in futures]
             except BaseException:
-                for future in futures:
-                    future.cancel()
+                _drain(futures)
                 raise
         token = self._token()
         blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
@@ -272,8 +370,7 @@ class WorkerPool:
                 start, chunk_results = future.result()
                 results[start : start + len(chunk_results)] = chunk_results
         except BaseException:
-            for future in futures:
-                future.cancel()
+            _drain(futures)
             raise
         return results
 
@@ -289,15 +386,20 @@ class WorkerPool:
         Adopted shared-memory segments are unlinked *after* the workers
         drain — no future map call can attach them through this pool,
         so their names must not outlive it (the leak check in
-        ``tests/test_shared_corpus.py`` scans for exactly that).
+        ``tests/test_shared_corpus.py`` scans for exactly that).  The
+        unlink runs in ``finally``: a broken pool's shutdown may raise,
+        and a crashed pool that leaked every adopted segment would
+        defeat the whole lifecycle model.
         """
         if not self._closed:
             self._closed = True
-            self._executor.shutdown(wait=True)
-            with self._lock:
-                adopted, self._adopted_segments = self._adopted_segments, {}
-            for handle in adopted.values():
-                handle.unlink()
+            try:
+                self._executor.shutdown(wait=True)
+            finally:
+                with self._lock:
+                    adopted, self._adopted_segments = self._adopted_segments, {}
+                for handle in adopted.values():
+                    handle.unlink()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -382,6 +484,14 @@ class ParallelRunner:
         if len(tasks) <= 1:
             # A private pool for one task would pay a fork for nothing.
             return [fn(context, task) for task in tasks]
+        # Supervision (timeouts/retries/fault tolerance) is ambient:
+        # when a policy is active — CLI flags, REPRO_TIMEOUT/RETRIES,
+        # or a fault plan — private-pool maps run supervised too.
+        # Imported lazily; supervise imports this module.
+        from repro.engine import supervise
+
+        if supervise.current_policy() is not None:
+            return supervise.supervised_map(fn, context, tasks, self.workers)
         results: list[Any] = [None] * len(tasks)
         max_workers = min(self.workers, len(tasks))
         with ProcessPoolExecutor(

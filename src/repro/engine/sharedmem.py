@@ -57,11 +57,14 @@ except ImportError:  # pragma: no cover
     _shm_module = None  # type: ignore[assignment]
     _resource_tracker = None  # type: ignore[assignment]
 
-from repro.errors import EngineError
+from repro.errors import EngineError, SegmentLostError
 
 __all__ = [
     "InlineCorpus",
     "SharedCorpus",
+    "drop_segment_name",
+    "gc_segments",
+    "orphaned_segments",
     "segment_prefix",
     "share_corpus",
     "shared_memory_enabled",
@@ -72,6 +75,10 @@ SHM_ENV = "REPRO_SHM"
 """Set to ``0`` to force the pickling fallback (``1``/``auto`` enable)."""
 
 _ID_DTYPE = "int64" if np is None else np.dtype(np.int64)
+
+# Namespace shared by every repro run: the janitor (repro gc-shm)
+# scans /dev/shm for this and decides liveness from the embedded pid.
+BASE_PREFIX = "repro_shm_"
 
 # Run-unique segment namespace: pid plus random salt, fixed at import.
 # Only the importing (parent) process publishes, so forked workers
@@ -86,7 +93,7 @@ _live_segments: dict[str, "SharedCorpus"] = {}
 
 def segment_prefix() -> str:
     """The run-unique prefix every segment name starts with."""
-    return f"repro_shm_{_RUN_TOKEN}"
+    return f"{BASE_PREFIX}{_RUN_TOKEN}"
 
 
 def shared_memory_enabled() -> bool:
@@ -244,6 +251,15 @@ class SharedCorpus:
             raise EngineError("shared_memory is unavailable in this process")
         try:
             shm = _attach_untracked(self._name)
+        except FileNotFoundError as exc:
+            # The name is gone but handles survive: the owner died (its
+            # atexit or the janitor reclaimed the segment) or a fault
+            # run unlinked it.  Distinct type so the supervision layer
+            # can classify this as retryable-then-degradable.
+            raise SegmentLostError(
+                f"shared-memory segment {self._name!r} disappeared under its "
+                "readers (owner exited or segment was unlinked)"
+            ) from exc
         except OSError as exc:
             raise EngineError(
                 f"cannot attach shared-memory segment {self._name!r}: {exc}"
@@ -375,3 +391,91 @@ def unlink_all_segments() -> None:
 
 
 atexit.register(unlink_all_segments)
+
+
+# ----------------------------------------------------------------------
+# Crash-safe lifecycle: fault hook and the orphan janitor
+# ----------------------------------------------------------------------
+
+_SHM_DIR = "/dev/shm"
+
+
+def drop_segment_name(name: str) -> bool:
+    """Remove a segment's *name* while existing mappings stay valid.
+
+    The fault-injection hook behind ``shm-unlink``: on Linux the
+    memory persists until the last attached process detaches, so the
+    owner's views keep working — only *new* attaches fail (with
+    :class:`~repro.errors.SegmentLostError`), which is exactly the
+    orphaned-parent scenario the supervision layer must survive.
+    Returns True when a name was actually removed.
+    """
+    _live_segments.pop(name, None)
+    try:
+        os.unlink(os.path.join(_SHM_DIR, name))
+    except OSError:
+        return False
+    return True
+
+
+def _pid_of_segment(name: str) -> int | None:
+    """The publishing pid baked into a repro segment name, if parseable."""
+    if not name.startswith(BASE_PREFIX):
+        return None
+    fields = name[len(BASE_PREFIX):].split("_")
+    if len(fields) != 3:
+        return None
+    try:
+        return int(fields[0], 16)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned elsewhere
+        return True
+    return True
+
+
+def orphaned_segments(include_live: bool = False) -> list[str]:
+    """Stale ``repro_shm_*`` names under ``/dev/shm``, sorted.
+
+    A segment is *orphaned* when the pid its name embeds no longer
+    runs: the publishing process was SIGKILL'd past its atexit hook,
+    so nothing will ever unlink it.  ``include_live=True`` lists every
+    repro segment regardless of owner liveness (the ``gc-shm --all``
+    hammer) — except this process's own, which its atexit hook still
+    covers.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return []
+    stale = []
+    for name in os.listdir(_SHM_DIR):
+        pid = _pid_of_segment(name)
+        if pid is None or pid == os.getpid():
+            continue
+        if include_live or not _pid_alive(pid):
+            stale.append(name)
+    return sorted(stale)
+
+
+def gc_segments(include_live: bool = False) -> list[str]:
+    """Unlink orphaned segments; return the names reclaimed.
+
+    The janitor behind ``repro gc-shm``.  Plain ``os.unlink`` of the
+    ``/dev/shm`` entry, deliberately bypassing ``SharedMemory`` — the
+    dead owner's resource-tracker state is unreachable, and attaching
+    just to unlink would map the (possibly huge) segment for nothing.
+    """
+    reclaimed = []
+    for name in orphaned_segments(include_live):
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+        except OSError:  # pragma: no cover - raced another janitor
+            continue
+        reclaimed.append(name)
+    return reclaimed

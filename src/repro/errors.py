@@ -18,8 +18,11 @@ __all__ = [
     "DefenseError",
     "EngineError",
     "ExperimentError",
+    "MapTimeoutError",
     "PersistenceError",
     "ScenarioError",
+    "SegmentLostError",
+    "WorkerCrashError",
 ]
 
 
@@ -57,6 +60,58 @@ class DefenseError(ReproError):
 
 class EngineError(ReproError):
     """The parallel execution engine was misconfigured or a worker failed."""
+
+
+class _SupervisedMapError(EngineError):
+    """Base for supervised-map failures that carry chunk provenance.
+
+    ``chunk_starts`` are the task-order offsets of the chunks that
+    never completed, ``attempts`` is how many times the supervisor
+    retried the map before giving up, and ``provenance`` is a short
+    rendering of the first unfinished task (for fold tasks that names
+    the spec key, fold index and attack seed) — enough to re-run the
+    failing unit standalone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunk_starts: tuple[int, ...] = (),
+        attempts: int = 0,
+        provenance: str | None = None,
+    ) -> None:
+        detail = message
+        if chunk_starts:
+            detail += f" [unfinished chunk offsets: {list(chunk_starts)}]"
+        if attempts:
+            detail += f" [attempts: {attempts}]"
+        if provenance:
+            detail += f" [first unfinished task: {provenance}]"
+        super().__init__(detail)
+        self.chunk_starts = tuple(chunk_starts)
+        self.attempts = attempts
+        self.provenance = provenance
+
+
+class WorkerCrashError(_SupervisedMapError):
+    """A worker process died (pool broke) and the retry budget ran out."""
+
+
+class MapTimeoutError(_SupervisedMapError):
+    """A map's chunks missed their deadline and the retry budget ran out."""
+
+
+class SegmentLostError(EngineError):
+    """A shared-memory segment disappeared under a reader.
+
+    Raised by attach when the segment name no longer exists — the
+    publishing process died (its atexit/janitor reclaimed the name) or
+    a fault-injection run unlinked it deliberately.  The supervision
+    layer treats it as retryable infrastructure failure and ultimately
+    degrades to in-process execution, where the owner's original
+    mapping is still valid.
+    """
 
 
 class ExperimentError(ReproError):

@@ -364,7 +364,15 @@ class StreamRunner:
 
 
 def _run_stream_task(spec: StreamSpec, _task: int) -> StreamResult:
-    """Engine worker: one whole stream is one task (stable pickle path)."""
+    """Engine worker: one whole stream is one task (stable pickle path).
+
+    The fault-injection site fires before any stream state exists, so
+    an injected crash or hang loses no partial work — the supervisor's
+    retry replays the whole (deterministic) stream from its spec.
+    """
+    from repro.engine import faults
+
+    faults.inject("stream-task", f"seed:{spec.seed}")
     return StreamRunner(spec).run()
 
 

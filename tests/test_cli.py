@@ -182,3 +182,79 @@ class TestScenarioHappyPaths:
         record = json.loads(out.read_text())
         assert record["config"]["scenario"] == "stream-clean-control"
         assert len(record["replicas"]) == 2
+
+
+class TestFaultToleranceSurface:
+    """The supervision flags, the gc-shm janitor, and the error
+    envelope around engine failures."""
+
+    def test_supervision_flags_registered(self):
+        from repro.cli import build_replicate_parser, build_run_scenario_parser
+
+        for build in (build_run_scenario_parser, build_replicate_parser):
+            args = build().parse_args(["stream-clean-control"])
+            assert args.timeout is None
+            assert args.retries is None
+        args = build_replicate_parser().parse_args(
+            ["stream-clean-control", "--timeout", "2.5", "--retries", "3"]
+        )
+        assert args.timeout == 2.5
+        assert args.retries == 3
+        assert args.resume is None
+
+    def test_gc_shm_runs_clean(self, capsys):
+        assert main(["gc-shm"]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+
+    def test_engine_failure_exits_with_one_line_error(self, monkeypatch, capsys):
+        # Workers crash on every chunk; retries 0, degradation off: the
+        # run must die with a clean `error:` line and status 2 — never
+        # a traceback.  (replicate, not run-scenario: a single stream
+        # is one task, which runs inline where faults never fire.)
+        monkeypatch.setenv("REPRO_FAULTS", "crash:p=1")
+        monkeypatch.setenv("REPRO_DEGRADE", "0")
+        code = main(
+            [
+                "replicate",
+                "stream-clean-control",
+                "--seeds", "2",
+                "--workers", "2",
+                "--retries", "0",
+                *FAST_SCENARIO_ARGS,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        error_lines = [
+            line for line in captured.err.splitlines() if line.strip()
+        ]
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_supervision_flags_recover_injected_crashes(self, monkeypatch, capsys):
+        # Same fault schedule, but with the degradation ladder on: the
+        # scenario completes and renders normally.
+        monkeypatch.setenv("REPRO_FAULTS", "crash:p=1")
+        monkeypatch.delenv("REPRO_DEGRADE", raising=False)
+        code = main(
+            [
+                "replicate",
+                "stream-clean-control",
+                "--seeds", "2",
+                "--workers", "2",
+                "--retries", "1",
+                *FAST_SCENARIO_ARGS,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "=== replicate stream-clean-control" in captured.out
+
+    def test_bad_timeout_rejected_cleanly(self, capsys):
+        code = main(
+            ["run-scenario", "stream-clean-control", "--timeout", "-1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")

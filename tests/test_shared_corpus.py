@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import signal
 
 import pytest
 
@@ -393,3 +394,130 @@ class TestTinyMapRegression:
             json.dumps(sequential, sort_keys=True).encode()
             == json.dumps(pooled, sort_keys=True).encode()
         )
+
+
+# ----------------------------------------------------------------------
+# Crash-safe lifecycle: name drops, orphan janitor, respawn survival
+# ----------------------------------------------------------------------
+
+
+class TestCrashSafeLifecycle:
+    def test_owner_views_survive_name_drop(self):
+        # The property the supervisor's degraded path relies on: after
+        # the /dev/shm name is gone, the owner's existing mapping (and
+        # its cached views) keep serving reads.
+        csr = _make_csr()
+        handle = sharedmem.SharedCorpus.publish(csr)
+        try:
+            before = [row.tolist() for row in handle.as_csr().rows()]
+            assert sharedmem.drop_segment_name(handle.name)
+            assert not os.path.exists(os.path.join("/dev/shm", handle.name))
+            after = [row.tolist() for row in handle.as_csr().rows()]
+            assert after == before
+        finally:
+            handle.unlink()
+
+    def test_new_attach_after_drop_raises_segment_lost(self):
+        from repro.errors import SegmentLostError
+
+        handle = sharedmem.SharedCorpus.publish(_make_csr())
+        try:
+            blob = pickle.dumps(handle, protocol=pickle.HIGHEST_PROTOCOL)
+            assert sharedmem.drop_segment_name(handle.name)
+            with pytest.raises(SegmentLostError):
+                attached = pickle.loads(blob)
+                attached.as_csr()
+        finally:
+            handle.unlink()
+
+    def test_respawn_keeps_adopted_segments_for_new_workers(self):
+        corpus = sharedmem.SharedCorpus.publish(_make_csr(8))
+        context = _CorpusContext(corpus)
+        with WorkerPool(2) as pool:
+            first = pool.run(_read_row, context, list(range(8)))
+            assert pool.respawn()
+            # The fresh worker set attaches to the segments the old
+            # one was using; results are unchanged.
+            second = pool.run(_read_row, context, list(range(8)))
+            assert [r[1] for r in second] == [r[1] for r in first]
+            assert os.path.exists(os.path.join("/dev/shm", corpus.name))
+        # ...and close() still owns the end of life.
+        assert not os.path.exists(os.path.join("/dev/shm", corpus.name))
+
+    def test_stale_respawn_is_a_noop(self):
+        with WorkerPool(2) as pool:
+            generation = pool.generation
+            assert pool.respawn(generation)
+            # A second caller holding the old generation lost the race.
+            assert not pool.respawn(generation)
+            assert pool.generation == generation + 1
+
+    def test_orphan_janitor_ignores_live_publishers(self):
+        handle = sharedmem.SharedCorpus.publish(_make_csr())
+        try:
+            # Our own (live) segment is never considered orphaned...
+            assert handle.name not in sharedmem.orphaned_segments()
+            # ...not even by the --all hammer, whose job is *other*
+            # processes' wedged runs.
+            assert handle.name not in sharedmem.orphaned_segments(include_live=True)
+        finally:
+            handle.unlink()
+
+
+_PUBLISH_AND_DIE = """
+import os, signal, sys
+import numpy as np
+from repro.engine import sharedmem
+from repro.spambayes.ndkernel import CsrMatrix
+
+handle = sharedmem.SharedCorpus.publish(
+    CsrMatrix.from_rows([np.arange(6, dtype=np.int64)])
+)
+print(handle.name, flush=True)
+# Die like a kill -9'd job or an OOM group kill: the whole process
+# group goes — including Python's resource-tracker daemon, which would
+# otherwise unlink the segment for us.  No atexit, no tracker, no
+# unlink: an orphaned segment.
+os.killpg(os.getpgrp(), signal.SIGKILL)
+"""
+
+
+@pytest.mark.slow
+def test_gc_shm_reclaims_segments_of_sigkilled_publisher(tmp_path):
+    """A publisher SIGKILL'd past its cleanup leaks a segment; the
+    ``repro gc-shm`` janitor must find and reclaim it."""
+    import subprocess
+    import sys as _sys
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(repo_root, "src")
+    victim = subprocess.run(
+        [_sys.executable, "-c", _PUBLISH_AND_DIE],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        start_new_session=True,  # its killpg must not reach this process
+    )
+    assert victim.returncode == -signal.SIGKILL, victim.stderr
+    name = victim.stdout.strip()
+    assert name.startswith(sharedmem.BASE_PREFIX)
+    path = os.path.join("/dev/shm", name)
+    try:
+        assert os.path.exists(path), "SIGKILL'd publisher left no segment"
+        assert name in sharedmem.orphaned_segments()
+        janitor = subprocess.run(
+            [_sys.executable, "-m", "repro", "gc-shm"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert janitor.returncode == 0, janitor.stderr
+        assert name in janitor.stdout
+        assert not os.path.exists(path)
+    finally:
+        if os.path.exists(path):  # pragma: no cover - janitor failed
+            os.unlink(path)
+

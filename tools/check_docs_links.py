@@ -75,6 +75,9 @@ def check_cli_invocation(doc: Path, words: list[str], cli: dict) -> list[str]:
     elif words and words[0] == "list-scenarios":
         valid_words, valid_flags = set(), {"-h", "--help"}
         words = words[1:]
+    elif words and words[0] == "gc-shm":
+        valid_words, valid_flags = set(), cli["gc_shm_flags"]
+        words = words[1:]
     else:
         valid_words, valid_flags = cli["artifacts"], cli["artifact_flags"]
     seen_flag = False
@@ -138,6 +141,7 @@ def cli_tables() -> dict:
     """
     from repro.cli import (
         ARTIFACTS,
+        build_gc_shm_parser,
         build_parser,
         build_replicate_parser,
         build_run_scenario_parser,
@@ -150,6 +154,7 @@ def cli_tables() -> dict:
         "scenario_names": set(scenario_names()),
         "scenario_flags": _flags_of(build_run_scenario_parser()),
         "replicate_flags": _flags_of(build_replicate_parser()),
+        "gc_shm_flags": _flags_of(build_gc_shm_parser()),
     }
 
 
