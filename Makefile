@@ -22,6 +22,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_scenario_overhead.py --scale smoke
 	$(PYTHON) benchmarks/bench_replication.py --scale smoke --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --workers 2
+	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --ticks
 
 # The classifier-core micro-benchmarks at the default (1/10) scale;
 # writes benchmarks/results/BENCH_classifier_core.json.
@@ -53,6 +54,7 @@ bench-large:
 	$(PYTHON) benchmarks/bench_classifier_core.py --scale large
 	$(PYTHON) benchmarks/bench_replication.py --scale large --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale large --workers 2
+	$(PYTHON) benchmarks/bench_stream_throughput.py --scale large --ticks
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

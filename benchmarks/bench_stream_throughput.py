@@ -17,10 +17,22 @@ engine ingests or scores: every arrival the per-tick gate saw (ham,
 spam and attack mail, trained or rejected) plus every held-out
 evaluation (clean-counterfactual re-evaluations included).
 
+A second, ``--ticks``-scaled **long-horizon mode** measures the clean
+counterfactual itself: one stream, played twice — the default
+clean-twin counterfactual against the retained snapshot/unlearn-all/
+restore reference — with per-tick phase profiling on.  It asserts the
+two records identical, that each arm's profiled phases sum to within
+tolerance of its wall time, and reports the per-tick counterfactual
+cost series (flat under the twin, growing with the attack history
+under unlearn), the twin's flatness ratio, and the twin-vs-unlearn
+speedup.  Phase timings land in
+``benchmarks/results/BENCH_stream_phases[.<scale>].json``.
+
 Run directly (it is a script, not a pytest benchmark)::
 
     PYTHONPATH=src python benchmarks/bench_stream_throughput.py --workers 4
     PYTHONPATH=src python benchmarks/bench_stream_throughput.py --scale smoke
+    PYTHONPATH=src python benchmarks/bench_stream_throughput.py --scale large --ticks 40
 
 Records **append** to ``benchmarks/results/BENCH_stream.json``
 (``BENCH_stream.smoke.json`` for the smoke scale): each run adds one
@@ -40,6 +52,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine.replicate import replicate_scenario
 from repro.scenarios import get_scenario
+from repro.stream.runner import StreamRunner
+from repro.stream.spec import StreamSpec
 
 _RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -66,10 +80,49 @@ _SCALES = {
 }
 
 
+_CF_SCALES = {
+    # Long-horizon counterfactual arms: per-tick sizes and the default
+    # tick count when --ticks is given without a value.  The focused
+    # variant draws a distinct token set per attack message, so the
+    # unlearn reference's per-tick cost genuinely grows with the
+    # trained attack history — the shape the twin is flat against.
+    "smoke": dict(ticks=8, ham_per_tick=10, spam_per_tick=10,
+                  attack_per_tick=24, test_size=60),
+    "small": dict(ticks=20, ham_per_tick=12, spam_per_tick=12,
+                  attack_per_tick=40, test_size=100),
+    "large": dict(ticks=100, ham_per_tick=10, spam_per_tick=10,
+                  attack_per_tick=80, test_size=120),
+}
+
+# Profiled phases must explain at least this share of each arm's wall
+# time, or the phase accounting is lying and the run fails.
+_ACCOUNTED_FLOOR = 0.7
+
+
 def _default_json(scale_name: str) -> Path:
     if scale_name == "small":
         return _RESULTS_DIR / "BENCH_stream.json"
     return _RESULTS_DIR / f"BENCH_stream.{scale_name}.json"
+
+
+def _phases_json(scale_name: str) -> Path:
+    if scale_name == "small":
+        return _RESULTS_DIR / "BENCH_stream_phases.json"
+    return _RESULTS_DIR / f"BENCH_stream_phases.{scale_name}.json"
+
+
+def _append_record(json_out: Path, record: dict) -> int:
+    json_out.parent.mkdir(parents=True, exist_ok=True)
+    history: list = []
+    if json_out.exists():
+        try:
+            existing = json.loads(json_out.read_text(encoding="utf-8"))
+            history = existing if isinstance(existing, list) else [existing]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    json_out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return len(history)
 
 
 def _stream_messages(scenario: str, overrides: dict) -> int:
@@ -158,18 +211,139 @@ def run(
         "speedup": speedup,
         "identical": identical,
     }
-    json_out.parent.mkdir(parents=True, exist_ok=True)
-    history: list = []
-    if json_out.exists():
-        try:
-            existing = json.loads(json_out.read_text(encoding="utf-8"))
-            history = existing if isinstance(existing, list) else [existing]
-        except json.JSONDecodeError:
-            history = []
-    history.append(record)
-    json_out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
-    print(f"appended to {json_out} ({len(history)} record(s))")
+    count = _append_record(json_out, record)
+    print(f"appended to {json_out} ({count} record(s))")
     return 0 if identical else 1
+
+
+def run_counterfactual(
+    scale_name: str,
+    ticks: int,
+    base_seed: int,
+    json_out: Path,
+    phases_out: Path,
+) -> int:
+    """The long-horizon arm race: clean twin vs the unlearn reference."""
+    params = dict(_CF_SCALES[scale_name])
+    params["ticks"] = ticks or params["ticks"]
+    spec = StreamSpec(
+        ticks=params["ticks"],
+        ham_per_tick=params["ham_per_tick"],
+        spam_per_tick=params["spam_per_tick"],
+        attack_start_tick=2,
+        attack_per_tick=params["attack_per_tick"],
+        attack_variant="focused",
+        test_size=params["test_size"],
+        measure_clean=True,
+        profile_phases=True,
+        seed=base_seed,
+    )
+    print(
+        f"# stream counterfactual benchmark — scale={scale_name}, "
+        f"ticks={spec.ticks}, attack/tick={spec.attack_per_tick} "
+        f"({spec.attack_variant}), test={spec.test_size}"
+    )
+
+    arms: dict[str, dict] = {}
+    for mode in ("twin", "unlearn"):
+        start = time.perf_counter()
+        result = StreamRunner(spec, counterfactual=mode).run()
+        wall = time.perf_counter() - start
+        profile = result.phase_profile
+        arms[mode] = {
+            "record": json.dumps(result.to_record().as_dict(), sort_keys=True),
+            "wall_seconds": wall,
+            "profile": profile,
+            "cf_series": profile.phase_series("counterfactual"),
+            "accounted": profile.accounted_fraction(),
+        }
+
+    identical = arms["twin"]["record"] == arms["unlearn"]["record"]
+    accounted_ok = all(arm["accounted"] >= _ACCOUNTED_FLOOR for arm in arms.values())
+
+    # Per-tick counterfactual cost, measured only where a real
+    # counterfactual evaluation happens (from the attack's first tick;
+    # earlier ticks copy the actual confusion for free).
+    active = slice(spec.attack_start_tick - 1, None)
+    twin_series = arms["twin"]["cf_series"][active]
+    unlearn_series = arms["unlearn"]["cf_series"][active]
+    quarter = max(1, len(twin_series) // 4)
+
+    def _mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    # Flatness: last-quarter mean over first-quarter mean.  ~1.0 for
+    # the twin (per-tick cost independent of history), and growing
+    # with the horizon for the unlearn reference.
+    twin_flatness = (
+        _mean(twin_series[-quarter:]) / _mean(twin_series[:quarter])
+        if _mean(twin_series[:quarter]) > 0.0
+        else 0.0
+    )
+    unlearn_flatness = (
+        _mean(unlearn_series[-quarter:]) / _mean(unlearn_series[:quarter])
+        if _mean(unlearn_series[:quarter]) > 0.0
+        else 0.0
+    )
+    cf_speedup = (
+        sum(unlearn_series) / sum(twin_series) if sum(twin_series) > 0.0 else 0.0
+    )
+    total_speedup = (
+        arms["unlearn"]["wall_seconds"] / arms["twin"]["wall_seconds"]
+        if arms["twin"]["wall_seconds"] > 0.0
+        else 0.0
+    )
+
+    print(
+        f"twin         {arms['twin']['wall_seconds']:7.2f}s  "
+        f"counterfactual {sum(twin_series):6.2f}s  "
+        f"flatness {twin_flatness:5.2f}  "
+        f"accounted {arms['twin']['accounted'] * 100:5.1f}%\n"
+        f"unlearn      {arms['unlearn']['wall_seconds']:7.2f}s  "
+        f"counterfactual {sum(unlearn_series):6.2f}s  "
+        f"flatness {unlearn_flatness:5.2f}  "
+        f"accounted {arms['unlearn']['accounted'] * 100:5.1f}%\n"
+        f"speedup      {total_speedup:7.2f}x total, {cf_speedup:.2f}x "
+        f"counterfactual   identical: {'yes' if identical else 'NO'}"
+    )
+    if not accounted_ok:
+        print(
+            f"ERROR: profiled phases explain < {_ACCOUNTED_FLOOR:.0%} of wall time"
+        )
+
+    record = {
+        "benchmark": "stream-counterfactual",
+        "scale": scale_name,
+        "ticks": spec.ticks,
+        "attack_variant": spec.attack_variant,
+        "attack_per_tick": spec.attack_per_tick,
+        "test_size": spec.test_size,
+        "base_seed": base_seed,
+        "twin_seconds": arms["twin"]["wall_seconds"],
+        "unlearn_seconds": arms["unlearn"]["wall_seconds"],
+        "twin_counterfactual_per_tick": twin_series,
+        "unlearn_counterfactual_per_tick": unlearn_series,
+        "twin_flatness": twin_flatness,
+        "unlearn_flatness": unlearn_flatness,
+        "counterfactual_speedup": cf_speedup,
+        "total_speedup": total_speedup,
+        "identical": identical,
+        "accounted_ok": accounted_ok,
+    }
+    count = _append_record(json_out, record)
+    print(f"appended to {json_out} ({count} record(s))")
+    phases_record = {
+        "benchmark": "stream-phases",
+        "scale": scale_name,
+        "ticks": spec.ticks,
+        "base_seed": base_seed,
+        "accounted_floor": _ACCOUNTED_FLOOR,
+        "twin": arms["twin"]["profile"].as_dict(),
+        "unlearn": arms["unlearn"]["profile"].as_dict(),
+    }
+    count = _append_record(phases_out, phases_record)
+    print(f"appended to {phases_out} ({count} record(s))")
+    return 0 if identical and accounted_ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -183,7 +357,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", type=Path, default=None,
                         help="record path (default: benchmarks/results/"
                              "BENCH_stream[.<scale>].json, appended)")
+    parser.add_argument("--ticks", type=int, nargs="?", const=0, default=None,
+                        metavar="N",
+                        help="long-horizon counterfactual mode: play one "
+                             "N-tick stream twice (clean twin vs the "
+                             "snapshot/unlearn reference), assert the "
+                             "records identical, and record per-tick "
+                             "counterfactual cost (bare --ticks uses the "
+                             "scale's default horizon)")
+    parser.add_argument("--phases-json", type=Path, default=None,
+                        help="phase-timing record path for --ticks mode "
+                             "(default: benchmarks/results/"
+                             "BENCH_stream_phases[.<scale>].json, appended)")
     args = parser.parse_args(argv)
+    if args.ticks is not None:
+        return run_counterfactual(
+            args.scale, args.ticks, args.seed,
+            args.json or _default_json(args.scale),
+            args.phases_json or _phases_json(args.scale),
+        )
     return run(
         args.scale, args.seed, args.workers, args.scenario, args.rounds,
         args.json or _default_json(args.scale),

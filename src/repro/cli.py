@@ -286,6 +286,13 @@ def build_run_scenario_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the .txt artifact and .json record",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect and print per-tick phase timings (stream "
+        "scenarios only); pure observation — the scenario's record "
+        "is byte-identical with or without it",
+    )
     _add_supervision_args(parser)
     return parser
 
@@ -341,6 +348,15 @@ def _scenario_config(spec, args) -> Any:
         raise ScenarioError(
             f"workers must be an integer >= 0, got {config.workers!r}"
         ) from None
+    if getattr(args, "profile", False):
+        field_names = {field.name for field in dataclasses.fields(config)}
+        if "profile_phases" not in field_names:
+            raise ScenarioError(
+                f"scenario {spec.name!r} does not support --profile "
+                f"({type(config).__name__} has no profile_phases field; "
+                "phase profiling is a stream-scenario feature)"
+            )
+        config = dataclasses.replace(config, profile_phases=True)
     return config
 
 
@@ -368,6 +384,9 @@ def _main_run_scenario(argv: list[str]) -> int:
         if renderer is not None
         else json.dumps(outcome.record_dict(), indent=2, sort_keys=True)
     )
+    profile = getattr(outcome.result, "phase_profile", None)
+    if args.profile and profile is not None:
+        text = f"{text}\n\n{profile.render()}"
     print(text)
     if args.out is not None:
         try:

@@ -151,22 +151,52 @@ def _run_shared_chunk(
     return start, results
 
 
-def _run_direct_task(fn: Callable[[Any, Any], Any], context: Any, task: Any) -> Any:
-    """Run one task shipped without the chunk-blob protocol.
+def _run_direct_blob(blob: bytes, task: Any) -> Any:
+    """Run one task shipped without the chunk-blob caching protocol.
 
-    Tiny maps (a single task) skip the blob entirely: the ``(fn,
-    context, task)`` triple rides the submit pickle once, instead of
-    being pickled into a blob *and then* shipped, cached and unpickled
-    under a call token on the worker side.  BENCH_stream showed the
-    blob overhead turning pooled whole-stream runs slower than
-    sequential (0.98x); the direct path removes the double transfer
-    while computing the exact same ``fn(context, task)``.
+    Tiny maps (a single task) skip the per-call-token worker cache:
+    the ``(fn, context)`` blob the parent already pickled (to size the
+    ship/inline decision) rides the submit once and is unpickled once,
+    instead of being shipped, cached and evicted under a call token.
+    Computes the exact same ``fn(context, task)`` as every other path.
     """
+    fn, context = pickle.loads(blob)
     return fn(context, task)
 
 
 # Maps with at most this many tasks skip the chunk-blob protocol.
 _TINY_MAP_TASKS = 1
+
+# A tiny map ships to the pool only while its (fn, context) pickle
+# stays under this; past it, shipping moves more bytes than the lone
+# task can plausibly amortize.
+_TINY_MAP_SHIP_LIMIT = 4 << 20
+
+
+def _tiny_map_ships(blob_size: int) -> bool:
+    """Should a tiny (single-task) map ship to the shared pool at all?
+
+    A lone task gains nothing from the pool *by itself* — the win is
+    concurrency with other threads' maps (each replica of a stream
+    replication submits one whole-stream task; on a multi-core box the
+    pool runs them truly in parallel).  Two situations where shipping
+    is pure overhead, measured as the 0.98x pooled-stream regression in
+    ``BENCH_stream.json``:
+
+    * **No parallel hardware.**  With one CPU the pool serializes
+      everything anyway, so the pickle round-trip is the only effect.
+    * **An outsized context.**  Shipping multi-megabyte state across a
+      process boundary for a single task costs more than the task's
+      share of any concurrency it buys.
+
+    Inline execution computes the identical ``fn(context, task)`` —
+    records are byte-identical either way, which
+    ``tests/test_engine.py`` pins by monkeypatching this predicate in
+    both directions.
+    """
+    if (os.cpu_count() or 1) < 2:
+        return False
+    return blob_size <= _TINY_MAP_SHIP_LIMIT
 
 
 def _chunked(tasks: Sequence[Any], chunks: int) -> Iterator[tuple[int, Sequence[Any]]]:
@@ -349,8 +379,14 @@ class WorkerPool:
             return []
         self._adopt_segments(context)
         if len(tasks) <= _TINY_MAP_TASKS:
+            blob = pickle.dumps((fn, context), protocol=pickle.HIGHEST_PROTOCOL)
+            if not _tiny_map_ships(len(blob)):
+                # Stay inline: on this hardware (or at this context
+                # size) the pool cannot pay for the transfer.  Same
+                # deterministic computation, same records.
+                return [fn(context, task) for task in tasks]
             futures = [
-                self._executor.submit(_run_direct_task, fn, context, task)
+                self._executor.submit(_run_direct_blob, blob, task)
                 for task in tasks
             ]
             try:

@@ -71,6 +71,7 @@ __all__ = [
     "SweepSpec",
     "attack_message_count",
     "evaluate_dataset",
+    "evaluation_workspace",
     "run_attack_sweeps",
     "sequential_reference_sweep",
     "train_grouped",
@@ -154,12 +155,38 @@ def unlearn_grouped(
         classifier.unlearn_ids_repeated(ids, is_spam, count)
 
 
+def evaluation_workspace(
+    classifier: Classifier,
+    messages: Iterable[LabeledMessage],
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+    ham_only: bool = False,
+) -> "ndkernel.ScoringWorkspace":
+    """A scoring workspace over exactly the rows
+    :func:`evaluate_dataset` would score for the same arguments.
+
+    Built once per repeatedly-evaluated set (the stream runner's
+    held-out test set) and passed back via ``evaluate_dataset(...,
+    workspace=...)``; the workspace caches the batch-shape scoring
+    state (CSR encoding, rank gather, scratch buffers) across calls.
+    The construction is kernel-agnostic — the pure kernel just scores
+    the rows — and classifier-independent beyond the interning table,
+    so one workspace may serve several classifiers sharing a table.
+    """
+    table = classifier.table
+    return ndkernel.ScoringWorkspace(
+        m.token_ids(table, tokenizer)
+        for m in messages
+        if not (ham_only and m.is_spam)
+    )
+
+
 def evaluate_dataset(
     classifier: Classifier,
     messages: Iterable[LabeledMessage],
     tokenizer: Tokenizer = DEFAULT_TOKENIZER,
     ham_only: bool = False,
     cutoffs: tuple[float, float] | None = None,
+    workspace: "ndkernel.ScoringWorkspace | None" = None,
 ) -> "ConfusionCounts":
     """Classify ``messages`` and tally a confusion matrix.
 
@@ -169,7 +196,10 @@ def evaluate_dataset(
     per-message ones.  ``cutoffs`` overrides the classifier's
     (θ0, θ1) without touching its state — the dynamic-threshold
     experiment evaluates one trained classifier under several
-    threshold fits.
+    threshold fits.  ``workspace`` (from :func:`evaluation_workspace`
+    over the same messages/``ham_only``) reuses cached batch-shape
+    scoring state for callers that evaluate one fixed set repeatedly;
+    scores are bit-identical with or without it.
     """
     if cutoffs is None:
         ham_cutoff, spam_cutoff = classifier.options.ham_cutoff, classifier.options.spam_cutoff
@@ -177,7 +207,10 @@ def evaluate_dataset(
         ham_cutoff, spam_cutoff = cutoffs
     kept = [m for m in messages if not (ham_only and m.is_spam)]
     table = classifier.table
-    scores = classifier.score_many_ids([m.token_ids(table, tokenizer) for m in kept])
+    if workspace is not None:
+        scores = classifier.score_workspace(workspace)
+    else:
+        scores = classifier.score_many_ids([m.token_ids(table, tokenizer) for m in kept])
     counts = _confusion_counts()()
     for message, score in zip(kept, scores):
         if score <= ham_cutoff:

@@ -163,8 +163,8 @@ BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = (
         attack_grid=("usenet",),
         metrics=("ham_as_spam_rate", "ham_misclassified_rate", "clean_delta"),
         description="A cautious attacker ramps 6 -> 24 messages/tick over "
-        "four retrains; the stream-clean counterfactual series (attack "
-        "mail unlearned through the snapshot WAL) isolates the damage.",
+        "four retrains; the stream-clean counterfactual series (the clean "
+        "twin trained only on accepted non-attack mail) isolates the damage.",
     ),
     ScenarioSpec(
         name="stream-dictionary-vs-roni",

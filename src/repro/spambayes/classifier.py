@@ -815,6 +815,21 @@ class Classifier:
             results.append(combine([entry[2] for entry in scored[:max_discriminators]]))
         return results
 
+    def score_workspace(self, workspace) -> list[float]:
+        """Score a fixed evaluation batch carried by a scoring workspace.
+
+        ``workspace`` is a
+        :class:`repro.spambayes.ndkernel.ScoringWorkspace` (duck-typed
+        here — only its ``rows`` are read, so the pure kernel needs no
+        NumPy).  The base implementation simply bulk-scores the rows;
+        :class:`~repro.spambayes.ndkernel.NDClassifier` overrides it to
+        reuse the workspace's cached CSR encoding, rank gather and
+        scratch buffers.  Either way the floats are exactly
+        ``score_many_ids(workspace.rows)`` — callers that evaluate the
+        same held-out set every tick stay kernel-agnostic.
+        """
+        return self.score_many_ids(workspace.rows)
+
     def score_many_ids(self, id_arrays: Iterable[Sequence[int]]) -> list[float]:
         """The columnar bulk-scoring kernel over pre-encoded messages.
 

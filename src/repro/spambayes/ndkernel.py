@@ -63,6 +63,7 @@ from repro.spambayes.wordinfo import WordInfo
 __all__ = [
     "CsrMatrix",
     "NDClassifier",
+    "ScoringWorkspace",
     "available",
     "classifier_class",
     "create_classifier",
@@ -195,6 +196,82 @@ class CsrMatrix:
         return f"CsrMatrix(messages={len(self)}, nnz={self.indices.shape[0]})"
 
 
+class ScoringWorkspace:
+    """Reusable scoring-side state for one fixed evaluation batch.
+
+    A streaming run scores the *same* held-out rows every tick against
+    an evolving classifier.  Without a workspace each pass re-runs the
+    batch-shape work — concatenating the rows into CSR form, gathering
+    per-entry text ranks, allocating the reduceat/chi2 scratch
+    columns — even though none of it depends on the classifier's
+    counts.  A workspace caches exactly that batch-shape state:
+
+    * the CSR encoding of the rows, built once (rows are immutable
+      encoded ID arrays, so it never goes stale);
+    * the per-entry text-rank gather, keyed by table length (the table
+      is append-only, so length is a complete cache key — new vocab
+      shifts existing ranks, which is the only invalidation);
+    * named scratch buffers, reallocated only when the requested shape
+      changes.
+
+    The cached state is a pure function of ``(rows, table)``, never of
+    any classifier's counts — so one workspace is safely shared by
+    several classifiers over the same table (the stream runner points
+    the main classifier and its clean twin at a single workspace).
+    Construction is NumPy-free; only :meth:`csr`/:meth:`ranks_cat`
+    (called from the ND kernel) touch arrays, so the pure kernel's
+    fallback path can still carry a workspace around.
+    """
+
+    __slots__ = ("rows", "_csr", "_ranks_cat", "_ranks_len", "_buffers")
+
+    def __init__(self, rows: Iterable[Sequence[int]]) -> None:
+        self.rows = list(rows)
+        self._csr: tuple | None = None
+        self._ranks_cat = None
+        self._ranks_len = -1
+        self._buffers: dict = {}
+
+    def csr(self) -> tuple:
+        """The rows as one ``(ids_cat, indptr)`` CSR pair, cached."""
+        if self._csr is None:
+            matrix = CsrMatrix.from_rows(self.rows)
+            self._csr = (matrix.indices, matrix.indptr)
+        return self._csr
+
+    def ranks_cat(self, table: TokenTable) -> "np.ndarray":
+        """Per-entry text ranks for the CSR entries, cached per vocab.
+
+        ``ranks_cat[p] == text_order_ranks()[ids_cat[p]]`` — the gather
+        the lexsort tie-break needs, hoisted out of the per-call path
+        and invalidated only when the table grows (new tokens shift
+        the ranks of everything sorting after them).
+        """
+        table_len = len(table)
+        if self._ranks_len != table_len:
+            ids_cat, _ = self.csr()
+            ranks = np.frombuffer(table.text_order_ranks(), dtype=_ID_DTYPE)
+            self._ranks_cat = ranks[ids_cat]
+            self._ranks_len = table_len
+        return self._ranks_cat
+
+    def buffer(self, name: str, size: int, dtype) -> "np.ndarray":
+        """A named scratch array of exactly ``size``, reused per shape.
+
+        Contents are undefined on return — callers overwrite every
+        element they read (the kernel fills or assigns before use), so
+        reuse can never leak one call's values into the next.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape[0] != size:
+            buf = np.empty(size, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScoringWorkspace(rows={len(self.rows)})"
+
+
 class NDClassifier(Classifier):
     """:class:`Classifier` with NumPy columns and a vectorized combiner.
 
@@ -311,6 +388,20 @@ class NDClassifier(Classifier):
         tag = (self._nspam, self._nham)
         known = self._nd_known
         if known is not None and tag != self._nd_tag:
+            if known.shape[0] >= n:
+                # Counts changed but the vocabulary still fits: keep
+                # the allocations and invalidate in place.  Every tick
+                # of a stream lands here (training bumps nspam/nham),
+                # so the steady state re-fills one bool column instead
+                # of allocating two fresh vocabulary-sized arrays —
+                # the probs are recomputed from the dirty (= all
+                # unknown) entries exactly as a fresh memo would be.
+                known.fill(False)
+                self._nd_tag = tag
+                self._nd_dirty.clear()
+                self._score_memo = None
+                self._nd_order = None
+                return known, self._nd_prob
             known = None
         if known is None:
             capacity = max(n, 256)
@@ -455,37 +546,45 @@ class NDClassifier(Classifier):
         return float(super()._prob_for_id(token_id))
 
     def _nd_probs_for(self, need: "np.ndarray") -> "np.ndarray":
-        """f(w) of Equation 2 for a batch of token IDs, bit-exact.
+        """f(w) of Equation 2 for a batch of token IDs, bit-exact."""
+        return self._nd_probs_of(self._spam[need], self._ham[need])
+
+    def _nd_probs_of(
+        self, spamcount: "np.ndarray", hamcount: "np.ndarray"
+    ) -> "np.ndarray":
+        """f(w) over parallel count arrays (gathered or sliced), bit-exact.
 
         Every elementwise expression matches ``_prob_for_id``'s scalar
         arithmetic: int64→float64 conversions are exact (counts are
         tiny against 2**53) and each ``+ - * /`` is the identical
-        correctly-rounded IEEE operation.
+        correctly-rounded IEEE operation.  The formula is elementwise,
+        so feeding it contiguous column *slices* (the every-entry-
+        missing refresh after a count change) computes the same floats
+        as gathering the IDs one by one.
         """
         opts = self.options
         unknown = opts.unknown_word_prob
         s = opts.unknown_word_strength
-        spamcount = self._spam[need]
-        hamcount = self._ham[need]
+        size = spamcount.shape[0]
         n = spamcount + hamcount
         nspam = self._nspam
         nham = self._nham
         if nspam == 0 and nham == 0:
-            ps = np.full(need.shape[0], unknown, dtype=np.float64)
+            ps = np.full(size, unknown, dtype=np.float64)
         else:
             with np.errstate(divide="ignore", invalid="ignore"):
                 spam_ratio = (
                     spamcount / nspam
                     if nspam
-                    else np.zeros(need.shape[0], dtype=np.float64)
+                    else np.zeros(size, dtype=np.float64)
                 )
                 ham_ratio = (
                     hamcount / nham
                     if nham
-                    else np.zeros(need.shape[0], dtype=np.float64)
+                    else np.zeros(size, dtype=np.float64)
                 )
                 denominator = spam_ratio + ham_ratio
-                ps = np.full(need.shape[0], unknown, dtype=np.float64)
+                ps = np.full(size, unknown, dtype=np.float64)
                 np.divide(spam_ratio, denominator, out=ps, where=denominator != 0.0)
         prob = (s * unknown + n * ps) / (s + n)
         np.copyto(prob, unknown, where=(n == 0))
@@ -580,13 +679,36 @@ class NDClassifier(Classifier):
             indptr = sub_indptr
         return self._score_segments(indices, indptr)
 
-    def _score_segments(self, ids_cat: "np.ndarray", indptr: "np.ndarray") -> list[float]:
+    def score_workspace(self, workspace: ScoringWorkspace) -> list[float]:
+        """Bulk-score a workspace's fixed rows, reusing its cached state.
+
+        Same floats as ``score_many_ids(workspace.rows)`` — the CSR
+        encoding, rank gather and scratch buffers come from the
+        workspace instead of being rebuilt, but every arithmetic
+        operation on them is identical.  The per-call score memo is
+        bypassed: a workspace *is* the memo for its batch shape, and
+        the streaming caller re-scores after every training tick, when
+        the score memo would have been invalidated anyway.
+        """
+        self._ensure_columns()
+        self._nd_sync()
+        ids_cat, indptr = workspace.csr()
+        return self._score_segments(ids_cat, indptr, workspace=workspace)
+
+    def _score_segments(
+        self,
+        ids_cat: "np.ndarray",
+        indptr: "np.ndarray",
+        workspace: ScoringWorkspace | None = None,
+    ) -> list[float]:
         """The vectorized Fisher/chi2 combiner over CSR segments.
 
         One IEEE-identical pass for the whole batch: token-prob gather,
         significance filter, the ``(-strength, text)`` lexsort with
         per-row truncation, the interleaved mantissa/exponent product,
-        and the even-dof chi-square survival series.
+        and the even-dof chi-square survival series.  ``workspace``
+        supplies preallocated scratch columns and the cached text-rank
+        gather; it changes where intermediates live, never their bits.
         """
         n_msgs = indptr.shape[0] - 1
         if n_msgs == 0:
@@ -604,11 +726,29 @@ class NDClassifier(Classifier):
         # scalar path would produce on demand.
         table_len = len(self._table)
         missing = np.flatnonzero(~known[:table_len])
-        if missing.size:
+        if missing.size == table_len:
+            # Nothing memoized (the steady state after a count change):
+            # refresh straight off the contiguous count columns instead
+            # of gathering through an arange-equivalent index — same
+            # elementwise floats, no fancy-index copies.
+            prob_col[:table_len] = self._nd_probs_of(
+                self._spam[:table_len], self._ham[:table_len]
+            )
+            known[:table_len] = True
+        elif missing.size:
             prob_col[missing] = self._nd_probs_for(missing)
             known[missing] = True
-        token_prob = prob_col[ids_cat]
-        strength = np.abs(token_prob - 0.5)
+        if workspace is not None:
+            token_prob = np.take(
+                prob_col, ids_cat, out=workspace.buffer("token_prob", ids_cat.shape[0], np.float64)
+            )
+            strength = np.subtract(
+                token_prob, 0.5, out=workspace.buffer("strength", ids_cat.shape[0], np.float64)
+            )
+            np.abs(strength, out=strength)
+        else:
+            token_prob = prob_col[ids_cat]
+            strength = np.abs(token_prob - 0.5)
         sig_idx = np.flatnonzero(strength >= opts.minimum_prob_strength)
         if sig_idx.shape[0] == 0:
             return [0.5] * n_msgs
@@ -636,16 +776,30 @@ class NDClassifier(Classifier):
             order_col = self._nd_order = self._nd_build_order(table_len)
         if order_col is not None:
             order = np.argsort((row_of << 32) | order_col[sig_ids])
+        elif workspace is not None:
+            # ranks[sig_ids] == ranks_cat[sig_idx]: the workspace holds
+            # the whole-batch rank gather (cached per table length), so
+            # the tie-break key is a subset view instead of a fresh
+            # O(nnz) gather through the rank array.
+            order = np.lexsort(
+                (workspace.ranks_cat(self._table)[sig_idx], -strength[sig_idx], row_of)
+            )
         else:
             ranks = np.frombuffer(self._table.text_order_ranks(), dtype=_ID_DTYPE)
             order = np.lexsort((ranks[sig_ids], -strength[sig_idx], row_of))
         row_sorted = row_of[order]
         prob_sorted = sig_prob[order]
         counts = np.bincount(row_sorted, minlength=n_msgs)
-        row_starts = np.zeros(n_msgs + 1, dtype=np.int64)
+        if workspace is not None:
+            row_starts = workspace.buffer("row_starts", n_msgs + 1, np.int64)
+            kept_starts = workspace.buffer("kept_starts", n_msgs + 1, np.int64)
+            row_starts[0] = 0
+            kept_starts[0] = 0
+        else:
+            row_starts = np.zeros(n_msgs + 1, dtype=np.int64)
+            kept_starts = np.zeros(n_msgs + 1, dtype=np.int64)
         np.cumsum(counts, out=row_starts[1:])
         degrees = np.minimum(counts, opts.max_discriminators)
-        kept_starts = np.zeros(n_msgs + 1, dtype=np.int64)
         np.cumsum(degrees, out=kept_starts[1:])
         # Each message keeps the first ``degrees[r]`` of its contiguous
         # sorted run: gather those positions directly instead of
@@ -674,10 +828,20 @@ class NDClassifier(Classifier):
         # renormalized.  Only rows landing below the threshold re-run
         # through the pure combiner's exact mantissa/exponent loop.
         q_kept = 1.0 - kept_probs
-        mant_spam = np.ones(n_msgs)
-        exp_spam = np.zeros(n_msgs, dtype=np.int64)
-        mant_ham = np.ones(n_msgs)
-        exp_ham = np.zeros(n_msgs, dtype=np.int64)
+        if workspace is not None:
+            mant_spam = workspace.buffer("mant_spam", n_msgs, np.float64)
+            exp_spam = workspace.buffer("exp_spam", n_msgs, np.int64)
+            mant_ham = workspace.buffer("mant_ham", n_msgs, np.float64)
+            exp_ham = workspace.buffer("exp_ham", n_msgs, np.int64)
+            mant_spam.fill(1.0)
+            exp_spam.fill(0)
+            mant_ham.fill(1.0)
+            exp_ham.fill(0)
+        else:
+            mant_spam = np.ones(n_msgs)
+            exp_spam = np.zeros(n_msgs, dtype=np.int64)
+            mant_ham = np.ones(n_msgs)
+            exp_ham = np.zeros(n_msgs, dtype=np.int64)
         nonzero = np.flatnonzero(degrees)
         if nonzero.size:
             starts = kept_starts[nonzero]
@@ -703,10 +867,17 @@ class NDClassifier(Classifier):
         x2_ham = -2.0 * (_exact_log_u(mant_ham).astype(np.float64) + exp_ham * _LN2)
         # One stacked survival call: rows are independent, and fusing
         # the spam and ham sides halves the bucketing overhead.
-        evidence = _chi2_survival(
-            np.concatenate((x2_spam, x2_ham)),
-            np.concatenate((degrees, degrees)),
-        )
+        if workspace is not None:
+            x2_cat = workspace.buffer("x2_cat", 2 * n_msgs, np.float64)
+            deg_cat = workspace.buffer("deg_cat", 2 * n_msgs, np.int64)
+            x2_cat[:n_msgs] = x2_spam
+            x2_cat[n_msgs:] = x2_ham
+            deg_cat[:n_msgs] = degrees
+            deg_cat[n_msgs:] = degrees
+        else:
+            x2_cat = np.concatenate((x2_spam, x2_ham))
+            deg_cat = np.concatenate((degrees, degrees))
+        evidence = _chi2_survival(x2_cat, deg_cat)
         return ((1.0 + evidence[:n_msgs] - evidence[n_msgs:]) / 2.0).tolist()
 
     # ------------------------------------------------------------------

@@ -12,15 +12,20 @@ worker pool and the replication engine all understand:
   tick ever retrains from scratch, and a T-tick stream trains each
   message exactly once;
 * the **held-out evaluation** runs every tick through
-  :meth:`~repro.spambayes.classifier.Classifier.score_many_ids` over a
+  :meth:`~repro.spambayes.classifier.Classifier.score_workspace` over a
   test set encoded once against the stream's shared table — the
-  columnar bulk kernel, not a per-message scoring loop;
-* the optional **clean counterfactual** (``spec.measure_clean``) uses
-  the snapshot/restore WAL: snapshot, unlearn every attack message
-  trained so far (grouped, ID-native), re-evaluate, restore — the
-  "what if no poison had ever arrived" curve for the cost of the
-  attack vocabulary's touched count columns, with no twin classifier
-  and no retrain;
+  columnar bulk kernel with a reusable scoring workspace, not a
+  per-message scoring loop;
+* the optional **clean counterfactual** (``spec.measure_clean``) is a
+  *clean twin*: a second classifier sharing the stream's table,
+  incrementally trained on exactly the accepted non-attack arrivals.
+  Training is count-addition, so the twin's state is bit-identical to
+  "the main classifier with every trained attack message unlearned" —
+  the "what if no poison had ever arrived" curve at O(tick) cost
+  instead of an O(history) unlearn excursion per tick.  The original
+  snapshot/unlearn-all/restore path is retained
+  (``counterfactual="unlearn"``) as the executable reference the
+  differential suite replays against the twin;
 * per-tick **defenses** are pluggable
   (:mod:`repro.stream.defenses`): none, the RONI gate recalibrated on
   accepted mail, or per-tick refitted dynamic thresholds.
@@ -32,7 +37,17 @@ order (attack batch, then gate, then threshold fit) — so a spec built
 by :meth:`StreamSpec.from_retraining` reproduces
 ``run_retraining_simulation`` draw for draw, field for field
 (``tests/test_stream_vs_retraining.py`` proves it), and every other
-spec extends that contract rather than forking it.
+spec extends that contract rather than forking it.  The clean twin
+draws nothing: it re-trains already-encoded messages and re-scores
+already-encoded rows, so enabling ``measure_clean`` never moves a
+draw.
+
+**Profiling.**  With ``spec.profile_phases`` the tick loop wraps its
+four phases (train / defense / eval / counterfactual) plus the one-off
+prepare step in :class:`~repro.stream.profile.PhaseTimer`; the
+resulting :class:`~repro.stream.profile.StreamProfile` rides
+``StreamResult.phase_profile`` — never the serialized record, which
+stays byte-identical profiled or not.
 
 **Parallelism.**  One stream is inherently sequential (tick ``t+1``
 trains on state tick ``t`` left behind), so the fan-out unit is the
@@ -47,6 +62,7 @@ difference and asserts the records identical).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -54,7 +70,12 @@ from repro.attacks.variants import build_attack_variants
 from repro.corpus.dataset import Dataset, LabeledMessage
 from repro.corpus.trec import TrecStyleCorpus
 from repro.engine.runner import ParallelRunner
-from repro.engine.sweep import evaluate_dataset, train_grouped, unlearn_grouped
+from repro.engine.sweep import (
+    evaluate_dataset,
+    evaluation_workspace,
+    train_grouped,
+    unlearn_grouped,
+)
 from repro.errors import ExperimentError
 from repro.experiments.attack_data import attack_messages_as_dataset
 from repro.experiments.metrics import ConfusionCounts
@@ -63,12 +84,26 @@ from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.ndkernel import create_classifier
 from repro.stream.defenses import build_tick_defense
+from repro.stream.profile import PhaseTimer, StreamProfile
 from repro.stream.spec import StreamSpec
 
 if TYPE_CHECKING:
     from repro.attacks.base import Attack
+    from repro.spambayes.ndkernel import ScoringWorkspace
 
-__all__ = ["StreamOutcome", "StreamResult", "StreamRunner", "run_stream_experiment"]
+__all__ = [
+    "COUNTERFACTUAL_MODES",
+    "StreamOutcome",
+    "StreamResult",
+    "StreamRunner",
+    "run_stream_experiment",
+]
+
+COUNTERFACTUAL_MODES: tuple[str, ...] = ("twin", "unlearn")
+"""How the clean counterfactual is computed: ``twin`` (the default —
+an incrementally trained clean-twin classifier, O(tick) per tick) or
+``unlearn`` (the retained snapshot/unlearn-all/restore reference,
+O(history) per tick).  Bit-identical records either way."""
 
 
 @dataclass
@@ -101,6 +136,9 @@ class StreamResult:
     ticks: list[StreamOutcome] = field(default_factory=list)
     test_messages: int = 0
     """Held-out messages scored per tick (the evaluation workload)."""
+    phase_profile: StreamProfile | None = None
+    """Per-tick phase timings when ``spec.profile_phases`` asked for
+    them; observation only — never serialized into the record."""
 
     def outcome(self, tick: int) -> StreamOutcome:
         for outcome in self.ticks:
@@ -192,6 +230,8 @@ class StreamResult:
         }
         # The record must carry everything needed to re-run it
         # standalone, so the active defense's parameters ride along.
+        # (workers and profile_phases are execution knobs, not
+        # experiment identity — both are deliberately excluded.)
         if spec.defense == "threshold":
             config["threshold_quantile"] = spec.threshold_quantile
         elif spec.defense == "roni":
@@ -212,10 +252,22 @@ class StreamResult:
 
 
 class StreamRunner:
-    """Plays one :class:`StreamSpec` and collects per-tick outcomes."""
+    """Plays one :class:`StreamSpec` and collects per-tick outcomes.
 
-    def __init__(self, spec: StreamSpec) -> None:
+    ``counterfactual`` selects how the optional clean measurement is
+    computed (:data:`COUNTERFACTUAL_MODES`); every mode produces
+    byte-identical records, which
+    ``tests/test_stream_clean_twin.py`` enforces differentially.
+    """
+
+    def __init__(self, spec: StreamSpec, counterfactual: str = "twin") -> None:
+        if counterfactual not in COUNTERFACTUAL_MODES:
+            raise ExperimentError(
+                f"unknown counterfactual mode {counterfactual!r}; "
+                f"known: {', '.join(COUNTERFACTUAL_MODES)}"
+            )
         self.spec = spec
+        self.counterfactual = counterfactual
 
     # ------------------------------------------------------------------
     # Preparation
@@ -269,16 +321,33 @@ class StreamRunner:
     def run(self) -> StreamResult:
         """Play every tick; return the per-tick outcome trail."""
         spec = self.spec
-        spawner, ham_stream, spam_stream, test, attack = self._prepare()
-        counts = spec.tick_attack_counts()
+        timer = PhaseTimer(spec.profile_phases)
+        run_start = time.perf_counter()
+        with timer.phase("prepare"):
+            spawner, ham_stream, spam_stream, test, attack = self._prepare()
+            counts = spec.tick_attack_counts()
 
-        classifier = create_classifier(spec.options)
-        # Encode the held-out set once against the stream's table: every
-        # tick's evaluation is then one score_many_ids pass over cached
-        # ID arrays (the table is append-only, so the arrays never go
-        # stale as training interns new vocabulary).
-        test.encode(classifier.table)
-        defense = build_tick_defense(spec, classifier.table)
+            classifier = create_classifier(spec.options)
+            # Encode the held-out set once against the stream's table:
+            # every tick's evaluation is then one bulk kernel pass over
+            # cached ID arrays (the table is append-only, so the arrays
+            # never go stale as training interns new vocabulary).  The
+            # scoring workspace additionally carries the batch-shape
+            # state (CSR encoding, rank gather, scratch buffers) across
+            # ticks; it depends only on (rows, table), so the main
+            # classifier and the clean twin share one.
+            test.encode(classifier.table)
+            workspace = evaluation_workspace(classifier, test)
+            defense = build_tick_defense(spec, classifier.table)
+            # The clean twin: same options, SAME table (append-only, so
+            # sharing is free), trained below on exactly the accepted
+            # non-attack arrivals.  Counts are additive integers, so at
+            # every tick twin state == main state minus the trained
+            # attack mail — the unlearn excursion's result, without the
+            # excursion.
+            twin: Classifier | None = None
+            if spec.measure_clean and self.counterfactual == "twin":
+                twin = create_classifier(spec.options, table=classifier.table)
 
         accepted_history: list[LabeledMessage] = []
         trained_history: list[LabeledMessage] = []
@@ -286,33 +355,57 @@ class StreamRunner:
         result = StreamResult(spec=spec, test_messages=len(test))
 
         for tick in range(1, spec.ticks + 1):
+            timer.start_tick()
             tick_rng = spawner.rng(f"week[{tick}]")
-            start_ham = (tick - 1) * spec.ham_per_tick
-            start_spam = (tick - 1) * spec.spam_per_tick
-            arrivals: list[LabeledMessage] = list(
-                ham_stream[start_ham : start_ham + spec.ham_per_tick]
-            ) + list(spam_stream[start_spam : start_spam + spec.spam_per_tick])
-            attack_sent = counts[tick - 1]
-            attack_arrivals: list[LabeledMessage] = []
-            if attack_sent:
-                batch = attack.generate(attack_sent, tick_rng)
-                attack_arrivals = attack_messages_as_dataset(batch, start=tick * 10_000)
+            with timer.phase("train"):
+                start_ham = (tick - 1) * spec.ham_per_tick
+                start_spam = (tick - 1) * spec.spam_per_tick
+                arrivals: list[LabeledMessage] = list(
+                    ham_stream[start_ham : start_ham + spec.ham_per_tick]
+                ) + list(spam_stream[start_spam : start_spam + spec.spam_per_tick])
+                attack_sent = counts[tick - 1]
+                attack_arrivals: list[LabeledMessage] = []
+                if attack_sent:
+                    batch = attack.generate(attack_sent, tick_rng)
+                    attack_arrivals = attack_messages_as_dataset(
+                        batch, start=tick * 10_000
+                    )
 
-            decision = defense.gate(
-                tick, arrivals, attack_arrivals, accepted_history, tick_rng
-            )
-            to_train = decision.to_train
-            train_grouped(classifier, to_train)
-            accepted_history.extend(decision.accepted_legitimate)
-            trained_history.extend(to_train)
-            trained_attack.extend(decision.trained_attack)
+            with timer.phase("defense"):
+                decision = defense.gate(
+                    tick, arrivals, attack_arrivals, accepted_history, tick_rng
+                )
+            with timer.phase("train"):
+                to_train = decision.to_train
+                train_grouped(classifier, to_train)
+                accepted_history.extend(decision.accepted_legitimate)
+                trained_history.extend(to_train)
+                trained_attack.extend(decision.trained_attack)
+            if twin is not None:
+                with timer.phase("counterfactual"):
+                    # The twin ingests this tick's accepted legitimate
+                    # mail and nothing else; the messages were encoded
+                    # by the main retrain above, so this interns no new
+                    # vocabulary and draws no randomness.
+                    train_grouped(twin, decision.accepted_legitimate)
 
-            fit = defense.cutoffs(trained_history, tick_rng)
+            with timer.phase("defense"):
+                fit = defense.cutoffs(trained_history, tick_rng)
             cutoffs = None if fit is None else (fit.ham_cutoff, fit.spam_cutoff)
-            confusion = evaluate_dataset(classifier, test, cutoffs=cutoffs)
-            clean = self._clean_counterfactual(
-                classifier, test, trained_attack, cutoffs, confusion
-            )
+            with timer.phase("eval"):
+                confusion = evaluate_dataset(
+                    classifier, test, cutoffs=cutoffs, workspace=workspace
+                )
+            with timer.phase("counterfactual"):
+                clean = self._clean_counterfactual(
+                    classifier,
+                    twin,
+                    test,
+                    workspace,
+                    trained_attack,
+                    cutoffs,
+                    confusion,
+                )
             result.ticks.append(
                 StreamOutcome(
                     tick=tick,
@@ -327,29 +420,41 @@ class StreamRunner:
                     spam_cutoff=None if fit is None else fit.spam_cutoff,
                 )
             )
+        result.phase_profile = timer.finish(time.perf_counter() - run_start)
         return result
 
     def _clean_counterfactual(
         self,
         classifier: Classifier,
+        twin: Classifier | None,
         test: Dataset,
+        workspace: "ScoringWorkspace",
         trained_attack: list[LabeledMessage],
         cutoffs: tuple[float, float] | None,
         confusion: ConfusionCounts,
     ) -> ConfusionCounts | None:
-        """The tick's what-if-no-poison confusion, via the WAL.
+        """The tick's what-if-no-poison confusion.
 
-        Snapshot (O(1)), unlearn every attack message trained so far
-        (grouped — a dictionary campaign collapses to a handful of ID
-        arrays), re-score the held-out set, restore (bit-exact).  The
-        cost is proportional to the attack vocabulary touched, not to
-        the training history — no twin model, no retrain.
+        Default path: evaluate the clean twin — one bulk scoring pass,
+        cost independent of how much attack mail the stream has
+        trained.  Twin counts equal main-minus-attack counts exactly
+        (integer count-addition), so the scores, and therefore the
+        confusion, are bit-identical to the retained reference path:
+        snapshot, unlearn every attack message trained so far, re-score
+        the held-out set, restore (``counterfactual="unlearn"``) —
+        which grows with the attack history and is kept only as the
+        executable specification the differential suite replays.
         """
         if not self.spec.measure_clean:
             return None
         if not trained_attack:
-            # Nothing to unlearn: the counterfactual IS the measurement.
+            # Nothing poisoned yet: the counterfactual IS the
+            # measurement (the twin would score identically — its
+            # counts equal the main classifier's — so copying keeps
+            # messages_processed()'s re-score accounting meaningful).
             return ConfusionCounts.from_dict(confusion.as_dict())
+        if twin is not None:
+            return evaluate_dataset(twin, test, cutoffs=cutoffs, workspace=workspace)
         snap = classifier.snapshot()
         try:
             unlearn_grouped(classifier, trained_attack)

@@ -94,6 +94,13 @@ class StreamSpec:
     under ``replicate_scenario`` each replica's whole stream runs as
     one task in the shared worker pool (results identical at any
     value)."""
+    profile_phases: bool = False
+    """Collect per-tick phase timings (train / defense / eval /
+    counterfactual) into ``StreamResult.phase_profile``.  Pure
+    observation: timings never enter the serialized record (like
+    ``workers``, they are excluded from ``to_record()``), so profiled
+    and unprofiled runs stay byte-identical.  ``repro run-scenario
+    <stream-*> --profile`` sets this."""
 
     def __post_init__(self) -> None:
         if self.ticks < 1:

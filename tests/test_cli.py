@@ -121,6 +121,13 @@ class TestScenarioErrorPaths:
         )
         assert "invalid config value" in err
 
+    def test_profile_on_non_stream_scenario(self, capsys):
+        err = self._error_of(
+            capsys, ["run-scenario", "dictionary-vs-none", "--profile"]
+        )
+        assert "--profile" in err
+        assert "profile_phases" in err
+
     def test_replicate_zero_seeds(self, capsys):
         err = self._error_of(
             capsys, ["replicate", "stream-clean-control", "--seeds", "0"]
@@ -172,6 +179,31 @@ class TestScenarioHappyPaths:
         assert record["experiment"] == "stream"
         output = capsys.readouterr().out
         assert "held-out ham misclassification" in output
+
+    def test_run_scenario_profile_prints_phase_table(self, capsys):
+        assert main(
+            ["run-scenario", "stream-clean-control", *FAST_SCENARIO_ARGS,
+             "--profile"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "phase timings (ms per tick)" in output
+        assert "counterfactual" in output
+        assert "accounted" in output
+
+    def test_profile_does_not_change_the_record(self, capsys, tmp_path):
+        plain_out = tmp_path / "plain"
+        profiled_out = tmp_path / "profiled"
+        assert main(
+            ["run-scenario", "stream-clean-control", *FAST_SCENARIO_ARGS,
+             "--out", str(plain_out)]
+        ) == 0
+        assert main(
+            ["run-scenario", "stream-clean-control", *FAST_SCENARIO_ARGS,
+             "--profile", "--out", str(profiled_out)]
+        ) == 0
+        plain = (plain_out / "stream-clean-control.json").read_bytes()
+        profiled = (profiled_out / "stream-clean-control.json").read_bytes()
+        assert plain == profiled
 
     def test_replicate_writes_pooled_record(self, capsys, tmp_path):
         out = tmp_path / "r.json"

@@ -54,6 +54,24 @@ def test_checker_accepts_known_cli_usage(tmp_path):
     assert checker.check_file(doc, checker.cli_tables()) == []
 
 
+def test_checker_tracks_the_profile_flag(tmp_path):
+    """`--profile` is derived from the live run-scenario parser, so docs
+    may use it — and a typo'd variant still fails."""
+    checker = _load_checker()
+    doc = tmp_path / "profile.md"
+    doc.write_text(
+        "`python -m repro run-scenario stream-usenet-burst --set ticks=10 --profile`\n",
+        encoding="utf-8",
+    )
+    assert checker.check_file(doc, checker.cli_tables()) == []
+    bad = tmp_path / "typo.md"
+    bad.write_text(
+        "`python -m repro run-scenario stream-usenet-burst --profiled`\n",
+        encoding="utf-8",
+    )
+    assert len(checker.check_file(bad, checker.cli_tables())) == 1
+
+
 def test_checker_keeps_the_two_cli_grammars_apart(tmp_path):
     """A scenario name or --set outside run-scenario is still invalid,
     and run-scenario only accepts registered scenario names."""

@@ -96,19 +96,83 @@ class TestWorkerPool:
         after = ParallelRunner(workers=1).map(_square_task, {"offset": 1}, tasks)
         assert after == expected
 
-    def test_single_task_routes_into_active_pool(self):
-        # A lone task still ships to the shared pool (whole-stream
-        # protocols are one task per run; offloading it frees the
-        # replica thread), while without a pool a single task stays
-        # inline rather than paying a private fork.
+    def test_single_task_ships_when_heuristic_says_so(self, monkeypatch):
+        # A lone task ships to the shared pool when the skip-pool
+        # heuristic approves (whole-stream protocols are one task per
+        # run; offloading it frees the replica thread), while without
+        # a pool a single task stays inline rather than paying a
+        # private fork.
         import os
 
+        from repro.engine import runner as engine_runner
+
+        monkeypatch.setattr(engine_runner, "_tiny_map_ships", lambda size: True)
         with WorkerPool(2) as pool:
             with use_worker_pool(pool):
                 (pooled_pid,) = ParallelRunner(workers=2).map(_pid_task, None, [0])
         assert pooled_pid != os.getpid()
         (inline_pid,) = ParallelRunner(workers=2).map(_pid_task, None, [0])
         assert inline_pid == os.getpid()
+
+    def test_single_task_stays_inline_when_heuristic_declines(self, monkeypatch):
+        # The 0.98x regression fix: when shipping cannot pay for the
+        # transfer (one CPU, or an outsized context), the tiny map
+        # runs inline in the submitting thread — pool active or not.
+        import os
+
+        from repro.engine import runner as engine_runner
+
+        monkeypatch.setattr(engine_runner, "_tiny_map_ships", lambda size: False)
+        with WorkerPool(2) as pool:
+            with use_worker_pool(pool):
+                (pid,) = ParallelRunner(workers=2).map(_pid_task, None, [0])
+        assert pid == os.getpid()
+
+    def test_tiny_map_heuristic_inputs(self, monkeypatch):
+        from repro.engine import runner as engine_runner
+
+        monkeypatch.setattr(engine_runner.os, "cpu_count", lambda: 1)
+        assert not engine_runner._tiny_map_ships(16)
+        monkeypatch.setattr(engine_runner.os, "cpu_count", lambda: 4)
+        assert engine_runner._tiny_map_ships(16)
+        assert not engine_runner._tiny_map_ships(
+            engine_runner._TINY_MAP_SHIP_LIMIT + 1
+        )
+
+    def test_single_task_records_identical_shipped_or_inline(self, monkeypatch):
+        # Pin the byte-identity contract behind the heuristic: the
+        # same whole-stream task produces the same record whether the
+        # tiny map ships to the pool or stays inline.
+        import dataclasses
+
+        from repro.engine import runner as engine_runner
+        from repro.stream.runner import run_stream_experiment
+        from repro.stream.spec import StreamSpec
+
+        spec = StreamSpec(
+            ticks=2,
+            ham_per_tick=12,
+            spam_per_tick=12,
+            attack_start_tick=2,
+            attack_per_tick=4,
+            test_size=20,
+            seed=7,
+        )
+        records = {}
+        for ships in (True, False):
+            monkeypatch.setattr(
+                engine_runner, "_tiny_map_ships", lambda size, s=ships: s
+            )
+            with WorkerPool(2) as pool:
+                with use_worker_pool(pool):
+                    result = run_stream_experiment(
+                        dataclasses.replace(spec, workers=2)
+                    )
+            records[ships] = json.dumps(result.to_record().as_dict(), sort_keys=True)
+        sequential = json.dumps(
+            run_stream_experiment(spec).to_record().as_dict(), sort_keys=True
+        )
+        assert records[True] == records[False] == sequential
 
 
 class TestReplicaSeeds:

@@ -337,7 +337,13 @@ class TestWorkerPoolTransport:
         ]
         assert all(not writable for _, _, writable in results)
 
-    def test_single_task_map_uses_direct_path_and_matches_inline(self):
+    def test_single_task_map_uses_direct_path_and_matches_inline(self, monkeypatch):
+        from repro.engine import runner as engine_runner
+
+        # Force the skip-pool heuristic to ship: this test is about
+        # the direct transport path, not the heuristic's verdict on
+        # this particular machine.
+        monkeypatch.setattr(engine_runner, "_tiny_map_ships", lambda size: True)
         corpus = sharedmem.SharedCorpus.publish(_make_csr(4))
         context = _CorpusContext(corpus)
         inline = _read_row(context, 2)

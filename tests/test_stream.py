@@ -363,3 +363,81 @@ class TestEngineIntegration:
         assert spec.tick_attack_counts() == (0, 0)
         result = StreamRunner(spec).run()
         assert all(o.attack_sent == 0 for o in result.ticks)
+
+
+# ----------------------------------------------------------------------
+# Phase profiling
+# ----------------------------------------------------------------------
+
+
+class TestPhaseProfiling:
+    def test_profile_off_by_default(self):
+        result = StreamRunner(tiny_spec()).run()
+        assert result.phase_profile is None
+
+    def test_profile_covers_every_tick_and_phase(self):
+        from repro.stream.profile import PHASES
+
+        spec = tiny_spec(measure_clean=True, profile_phases=True)
+        result = StreamRunner(spec).run()
+        profile = result.phase_profile
+        assert profile is not None
+        assert len(profile.per_tick) == spec.ticks
+        for tick in profile.per_tick:
+            # With measure_clean on, every tick runs all four phases.
+            assert set(tick) == set(PHASES)
+            assert all(seconds >= 0.0 for seconds in tick.values())
+        assert profile.prepare_seconds > 0.0
+        assert profile.total_seconds > 0.0
+        # The phases cover the bulk of the run: only loop scaffolding
+        # and record assembly go unattributed.
+        assert 0.5 < profile.accounted_fraction() <= 1.0
+
+    def test_profile_is_pure_observation(self):
+        plain = StreamRunner(tiny_spec(measure_clean=True)).run()
+        profiled = StreamRunner(
+            tiny_spec(measure_clean=True, profile_phases=True)
+        ).run()
+        assert json.dumps(plain.to_record().as_dict(), sort_keys=True) == json.dumps(
+            profiled.to_record().as_dict(), sort_keys=True
+        )
+
+    def test_profile_helpers_and_render(self):
+        from repro.stream.profile import PHASES, StreamProfile
+
+        profile = StreamProfile(
+            per_tick=[
+                {"train": 0.2, "defense": 0.01, "eval": 0.1, "counterfactual": 0.05},
+                {"train": 0.3, "defense": 0.02, "eval": 0.1, "counterfactual": 0.07},
+            ],
+            prepare_seconds=0.5,
+            total_seconds=1.5,
+        )
+        totals = profile.phase_totals()
+        assert totals["train"] == pytest.approx(0.5)
+        assert profile.phase_series("eval") == [0.1, 0.1]
+        assert profile.phase_series("missing") == [0.0, 0.0]
+        assert profile.accounted_seconds() == pytest.approx(0.5 + 0.85)
+        assert profile.accounted_fraction() == pytest.approx(1.35 / 1.5)
+        payload = profile.as_dict()
+        assert payload["phase_totals"]["counterfactual"] == pytest.approx(0.12)
+        assert len(payload["per_tick"]) == 2
+        rendered = profile.render()
+        assert "phase timings" in rendered
+        for phase in PHASES:
+            assert phase in rendered
+        assert "accounted 90.0%" in rendered
+
+    def test_untimed_profile_accounts_fully(self):
+        from repro.stream.profile import StreamProfile
+
+        assert StreamProfile().accounted_fraction() == 1.0
+
+    def test_disabled_timer_is_inert(self):
+        from repro.stream.profile import PhaseTimer
+
+        timer = PhaseTimer(False)
+        timer.start_tick()
+        with timer.phase("train"):
+            pass
+        assert timer.finish(1.0) is None

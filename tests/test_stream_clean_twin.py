@@ -1,0 +1,315 @@
+"""The clean-twin counterfactual's bit-exactness contract.
+
+The streaming runner's default counterfactual is a *clean twin*: a
+second classifier over the stream's shared table, incrementally
+trained on exactly the accepted non-attack arrivals.  Because training
+is integer count-addition, the twin's state at every tick must equal
+"the main classifier with every trained attack message unlearned" —
+which is precisely what the retained ``counterfactual="unlearn"``
+reference computes by snapshot/unlearn-all/restore.  These tests make
+that equality an enforced differential contract, not an argument:
+
+* the **scenario differential**: every registered ``stream-*``
+  scenario, scaled down, run twin-vs-unlearn under both kernels —
+  records compared as serialized bytes;
+* the **pooled leg**: the same differential with the whole stream
+  shipped through a shared :class:`WorkerPool` (workers=2);
+* the **property test**: randomized attack schedules at the classifier
+  level — interleaved learn-only twin construction vs
+  snapshot/unlearn/restore, full state and scores compared exactly;
+* the **hash-seed leg**: the twin/unlearn equality holds under
+  explicit ``PYTHONHASHSEED`` values in subprocesses, so it does not
+  lean on any incidental set-iteration order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import subprocess
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.defenses.roni import RoniConfig
+from repro.engine.runner import WorkerPool, use_worker_pool
+from repro.errors import ExperimentError
+from repro.scenarios import get_scenario, scenario_names
+from repro.spambayes import ndkernel
+from repro.spambayes.ndkernel import create_classifier
+from repro.spambayes.token_table import TokenTable
+from repro.stream.runner import (
+    COUNTERFACTUAL_MODES,
+    StreamRunner,
+    run_stream_experiment,
+)
+from repro.stream.spec import StreamSpec
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+KERNELS = ("nd", "python")
+
+HASH_SEEDS = ("0", "1", "2")
+
+
+@contextmanager
+def forced_kernel(name: str):
+    """Pin ``REPRO_KERNEL`` for the duration of one comparison arm."""
+    previous = os.environ.get(ndkernel.KERNEL_ENV)
+    os.environ[ndkernel.KERNEL_ENV] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ndkernel.KERNEL_ENV, None)
+        else:
+            os.environ[ndkernel.KERNEL_ENV] = previous
+
+
+def _run_under_hash_seed(script: str, hash_seed: str) -> str:
+    env = os.environ.copy()
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+# Scaled-down overrides per registered stream scenario: small enough
+# to keep 6 scenarios x 2 kernels x 2 modes fast, large enough that
+# every scenario trains attack mail (so the twin path actually
+# diverges from the copy-the-confusion shortcut) — except the clean
+# control, which pins the no-attack degenerate case.
+_SCENARIO_SCALE: dict[str, dict] = {
+    "stream-dictionary-ramp": dict(
+        ticks=4,
+        ham_per_tick=14,
+        spam_per_tick=14,
+        attack_start_tick=2,
+        attack_per_tick=8,
+        ramp_ticks=2,
+        test_size=24,
+    ),
+    "stream-dictionary-vs-roni": dict(
+        ticks=3,
+        ham_per_tick=24,
+        spam_per_tick=24,
+        attack_start_tick=2,
+        attack_per_tick=5,
+        roni=RoniConfig(train_size=8, validation_size=16, trials=2),
+        roni_calibration_size=40,
+        test_size=24,
+    ),
+    "stream-focused-vs-roni": dict(
+        ticks=3,
+        ham_per_tick=24,
+        spam_per_tick=24,
+        attack_start_tick=2,
+        attack_per_tick=5,
+        roni=RoniConfig(train_size=8, validation_size=16, trials=2),
+        roni_calibration_size=40,
+        test_size=24,
+    ),
+    "stream-usenet-burst": dict(
+        ticks=4,
+        ham_per_tick=14,
+        spam_per_tick=14,
+        attack_start_tick=2,
+        attack_per_tick=6,
+        ramp_ticks=2,
+        test_size=24,
+    ),
+    "stream-threshold-over-time": dict(
+        ticks=3,
+        ham_per_tick=16,
+        spam_per_tick=16,
+        attack_start_tick=2,
+        attack_per_tick=6,
+        test_size=24,
+    ),
+    "stream-clean-control": dict(
+        ticks=3,
+        ham_per_tick=14,
+        spam_per_tick=14,
+        test_size=24,
+    ),
+}
+
+STREAM_SCENARIOS = tuple(sorted(_SCENARIO_SCALE))
+
+
+def _scaled_spec(name: str) -> StreamSpec:
+    spec = get_scenario(name)
+    config = spec.build_config(**_SCENARIO_SCALE[name])
+    # measure_clean on everywhere: the differential is about the
+    # counterfactual, so every scenario must compute one.
+    return dataclasses.replace(config, measure_clean=True, seed=23)
+
+
+def _record_bytes(result) -> bytes:
+    return json.dumps(result.to_record().as_dict(), sort_keys=True).encode()
+
+
+def test_catalogue_matches_the_scaled_suite():
+    # If a stream scenario is added (or renamed) the differential
+    # suite must grow with it — fail loudly instead of silently
+    # covering a subset.
+    registered = tuple(
+        sorted(n for n in scenario_names() if n.startswith("stream-"))
+    )
+    assert registered == STREAM_SCENARIOS
+
+
+class TestScenarioDifferential:
+    @pytest.mark.parametrize("name", STREAM_SCENARIOS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_twin_record_equals_unlearn_record(self, name, kernel):
+        spec = _scaled_spec(name)
+        with forced_kernel(kernel):
+            twin = StreamRunner(spec, counterfactual="twin").run()
+            unlearn = StreamRunner(spec, counterfactual="unlearn").run()
+        assert _record_bytes(twin) == _record_bytes(unlearn)
+
+    def test_kernels_agree_with_each_other(self):
+        # One scenario cross-kernel: the twin path on nd must match
+        # the unlearn path on python (and vice versa by transitivity
+        # with the per-kernel differentials above).
+        spec = _scaled_spec("stream-dictionary-ramp")
+        with forced_kernel("nd"):
+            nd_twin = StreamRunner(spec, counterfactual="twin").run()
+        with forced_kernel("python"):
+            py_unlearn = StreamRunner(spec, counterfactual="unlearn").run()
+        assert _record_bytes(nd_twin) == _record_bytes(py_unlearn)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="counterfactual"):
+            StreamRunner(StreamSpec(), counterfactual="oracle")
+        assert COUNTERFACTUAL_MODES == ("twin", "unlearn")
+
+    def test_pooled_stream_matches_sequential_both_modes(self):
+        # Workers leg: the whole-stream task shipped through a shared
+        # pool (how `repro replicate stream-*` runs it) must produce
+        # the same bytes the sequential twin and unlearn paths do.
+        spec = _scaled_spec("stream-usenet-burst")
+        sequential = _record_bytes(StreamRunner(spec, "twin").run())
+        reference = _record_bytes(StreamRunner(spec, "unlearn").run())
+        with WorkerPool(2) as pool:
+            with use_worker_pool(pool):
+                pooled = _record_bytes(
+                    run_stream_experiment(dataclasses.replace(spec, workers=2))
+                )
+        assert pooled == sequential == reference
+
+
+# ----------------------------------------------------------------------
+# Classifier-level property test: randomized schedules
+# ----------------------------------------------------------------------
+
+
+def _random_message(rng: random.Random, table: TokenTable):
+    tokens = {f"w{rng.randrange(300)}" for _ in range(rng.randint(1, 30))}
+    return table.encode_unique(tokens)
+
+
+def _full_state(classifier):
+    return (
+        classifier.nspam,
+        classifier.nham,
+        {
+            token: (record.spamcount, record.hamcount)
+            for token, record in (
+                (t, classifier.word_info(t)) for t in classifier.iter_vocabulary()
+            )
+        },
+    )
+
+
+@pytest.mark.parametrize("seed", [5, 17, 41])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_interleaved_twin_matches_snapshot_unlearn_restore(seed, kernel):
+    """Randomized attack schedules: twin == unlearn, byte for byte.
+
+    One shared table; a "stream" of randomly interleaved legitimate
+    and attack trainings.  After every simulated tick, the learn-only
+    twin's full state and its scores on a fixed test batch must equal
+    the main classifier's after unlearning the attack history inside a
+    snapshot (restored afterward — the main line must be untouched).
+    """
+    rng = random.Random(seed)
+    with forced_kernel(kernel):
+        table = TokenTable()
+        main = create_classifier(table=table)
+        twin = create_classifier(table=table)
+        test_batch = [_random_message(rng, table) for _ in range(12)]
+        attack_history: list = []
+        for tick in range(8):
+            # A random per-tick mix: legit ham, legit spam, attack spam.
+            for _ in range(rng.randint(1, 6)):
+                ids = _random_message(rng, table)
+                is_spam = rng.random() < 0.5
+                main.learn_ids(ids, is_spam)
+                twin.learn_ids(ids, is_spam)
+            for _ in range(rng.randint(0, 4)):
+                ids = _random_message(rng, table)
+                main.learn_ids(ids, True)
+                attack_history.append(ids)
+
+            before = _full_state(main)
+            snap = main.snapshot()
+            try:
+                for ids in attack_history:
+                    main.unlearn_ids(ids, True)
+                assert _full_state(main) == _full_state(twin)
+                unlearn_scores = [main.score_ids(ids) for ids in test_batch]
+            finally:
+                main.restore(snap)
+            assert _full_state(main) == before
+            twin_scores = [twin.score_ids(ids) for ids in test_batch]
+            assert twin_scores == unlearn_scores
+
+
+# ----------------------------------------------------------------------
+# Hash-seed leg: the equality is not an artifact of set ordering
+# ----------------------------------------------------------------------
+
+
+_TWIN_DIFFERENTIAL_SCRIPT = """
+import json
+from repro.stream.runner import StreamRunner
+from repro.stream.spec import StreamSpec
+
+spec = StreamSpec(
+    ticks=3, ham_per_tick=12, spam_per_tick=12,
+    attack_start_tick=2, attack_per_tick=5,
+    test_size=20, measure_clean=True, seed=13,
+)
+twin = StreamRunner(spec, counterfactual="twin").run()
+unlearn = StreamRunner(spec, counterfactual="unlearn").run()
+print(json.dumps({
+    "twin": twin.to_record().as_dict(),
+    "unlearn": unlearn.to_record().as_dict(),
+}, sort_keys=True))
+"""
+
+
+@pytest.mark.slow
+def test_twin_differential_identical_across_hash_seeds():
+    outputs = [
+        _run_under_hash_seed(_TWIN_DIFFERENTIAL_SCRIPT, seed) for seed in HASH_SEEDS
+    ]
+    parsed = [json.loads(output) for output in outputs]
+    for payload in parsed:
+        assert payload["twin"] == payload["unlearn"]
+    for other in parsed[1:]:
+        assert other == parsed[0]
