@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream bench-large docs-check check
+.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream bench-storage bench-large docs-check check
 
 # Tier-1 gate: the full test suite, fail-fast.
 test:
@@ -23,6 +23,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_replication.py --scale smoke --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --ticks
+	$(PYTHON) benchmarks/bench_storage.py --scale smoke
 
 # The classifier-core micro-benchmarks at the default (1/10) scale;
 # writes benchmarks/results/BENCH_classifier_core.json.
@@ -46,6 +47,13 @@ bench-replication:
 bench-stream:
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale small --workers 2
 
+# Storage backends head-to-head: ingest throughput (memory vs disk),
+# cold-open latency of an on-disk table, and fold-scoring ratio with
+# scores asserted identical; appends to
+# benchmarks/results/BENCH_storage.json.
+bench-storage:
+	$(PYTHON) benchmarks/bench_storage.py --scale small
+
 # The headline perf scale: big enough that the NumPy kernel's
 # fold-scoring speedup and the pooled engines' fixed costs are
 # measured against real work, small enough for a CI job.  Writes
@@ -55,6 +63,7 @@ bench-large:
 	$(PYTHON) benchmarks/bench_replication.py --scale large --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale large --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale large --ticks
+	$(PYTHON) benchmarks/bench_storage.py --scale large
 
 # The full benchmark suite: renders every figure/table artifact into
 # benchmarks/results/.  REPRO_SCALE=paper for Table 1 sizes.

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Storage backends head-to-head: memory vs the mmap+SQLite store.
+
+Three measurements, every one a *differential* (the backends must
+agree on the science before their speed difference means anything):
+
+* **ingest** — :meth:`TrecStyleCorpus.generate` wall time under
+  ``REPRO_STORE=memory`` (messages held as Python objects) and
+  ``REPRO_STORE=disk`` (each message tokenized, encoded and streamed
+  into the backend's SQLite message store as it is generated),
+  reported as messages/sec;
+* **cold-open** — the latency of opening the disk corpus's existing
+  token table from its file (fresh :class:`DiskTokenTable`, no warm
+  caches) through ``len``, ``text_order_ranks`` and a probe decode —
+  the "resume a run against yesterday's store" cost that has no
+  memory-backend equivalent;
+* **fold scoring** — train an 80% fold and score the held-out 20%
+  through each backend's native classifier (memory arrays vs mmap
+  count columns + stored token-ID rows), with the held-out score
+  vectors asserted **identical** — the storage layer's determinism
+  contract, priced.
+
+Run directly (it is a script, not a pytest benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py --scale smoke
+    PYTHONPATH=src python benchmarks/bench_storage.py --scale large
+
+Records **append** to ``benchmarks/results/BENCH_storage.json``
+(``BENCH_storage.<scale>.json`` for non-default scales): each run adds
+one entry, so the file accumulates the storage layer's cost trajectory
+across revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.corpus.trec import TrecStyleCorpus
+from repro.spambayes.ndkernel import backend_columns, create_classifier
+from repro.storage import STORE_ENV
+from repro.storage.disk import DiskTokenTable
+
+_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_SCALES = {
+    # n_ham per corpus (n_spam follows TREC prevalence, so total is
+    # roughly 2.3x) and the training fraction for the fold arm.
+    "smoke": dict(n_ham=120, train_fraction=0.8),
+    "small": dict(n_ham=500, train_fraction=0.8),
+    "large": dict(n_ham=2_000, train_fraction=0.8),
+}
+
+
+def _default_json(scale_name: str) -> Path:
+    if scale_name == "small":
+        return _RESULTS_DIR / "BENCH_storage.json"
+    return _RESULTS_DIR / f"BENCH_storage.{scale_name}.json"
+
+
+def _append_record(json_out: Path, record: dict) -> int:
+    json_out.parent.mkdir(parents=True, exist_ok=True)
+    history: list = []
+    if json_out.exists():
+        try:
+            existing = json.loads(json_out.read_text(encoding="utf-8"))
+            history = existing if isinstance(existing, list) else [existing]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    json_out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return len(history)
+
+
+def _under_store(name: str, fn):
+    """Run ``fn`` with ``REPRO_STORE`` pinned to ``name``.
+
+    ``active_backend`` caches per (pid, name), so flipping the variable
+    back and forth reuses one backend instance per arm — exactly what
+    a real run under that setting would see.
+    """
+    previous = os.environ.get(STORE_ENV)
+    os.environ[STORE_ENV] = name
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            del os.environ[STORE_ENV]
+        else:
+            os.environ[STORE_ENV] = previous
+
+
+def _fold_scores(corpus: TrecStyleCorpus, train_fraction: float):
+    """Train the leading fold, score the rest; returns (scores, secs).
+
+    Mirrors the stream runner's construction: a corpus with an ingest
+    table gets a root classifier sharing that table plus
+    backend-provided count columns, so stored token-ID rows index
+    straight into the columns; an in-RAM corpus gets the default
+    (memory) classifier and encodes on the fly.
+    """
+    messages = corpus.dataset.messages
+    split = int(len(messages) * train_fraction)
+    start = time.perf_counter()
+    if corpus.table is None:
+        classifier = create_classifier()
+    else:
+        classifier = create_classifier(
+            table=corpus.table, columns=backend_columns()
+        )
+    table = classifier.table
+    for message in messages[:split]:
+        classifier.learn_ids(message.token_ids(table), message.is_spam)
+    scores = classifier.score_many_ids(
+        [message.token_ids(table) for message in messages[split:]]
+    )
+    return scores, time.perf_counter() - start
+
+
+def run(scale_name: str, seed: int, json_out: Path) -> int:
+    params = _SCALES[scale_name]
+    n_ham, train_fraction = params["n_ham"], params["train_fraction"]
+    print(f"# storage benchmark — scale={scale_name}, n_ham={n_ham}, seed={seed}")
+
+    arms: dict[str, dict] = {}
+    for store in ("memory", "disk"):
+        start = time.perf_counter()
+        corpus = _under_store(
+            store, lambda: TrecStyleCorpus.generate(n_ham=n_ham, seed=seed)
+        )
+        ingest_seconds = time.perf_counter() - start
+        messages = len(corpus.dataset)
+        scores, score_seconds = _under_store(
+            store, lambda: _fold_scores(corpus, train_fraction)
+        )
+        arms[store] = {
+            "messages": messages,
+            "ingest_seconds": ingest_seconds,
+            "ingest_msgs_per_sec": messages / ingest_seconds if ingest_seconds else 0.0,
+            "score_seconds": score_seconds,
+            "scores": scores,
+            "corpus": corpus,
+        }
+        print(
+            f"{store:6s} ingest {ingest_seconds:6.2f}s "
+            f"({arms[store]['ingest_msgs_per_sec']:8.0f} msgs/s)  "
+            f"fold-score {score_seconds:6.2f}s"
+        )
+
+    identical = arms["memory"]["scores"] == arms["disk"]["scores"]
+
+    # Cold-open: a fresh table object over the disk corpus's existing
+    # SQLite file — no shared caches with the ingest-time table — must
+    # come up knowing its size, its seed-stable text ranks, and its
+    # rows.  This is the resume-against-an-existing-store path.
+    db_path = arms["disk"]["corpus"].table.db_path
+    start = time.perf_counter()
+    reopened = DiskTokenTable(db_path)
+    n_tokens = len(reopened)
+    ranks = reopened.text_order_ranks()
+    probe = reopened.token(0)
+    cold_open_seconds = time.perf_counter() - start
+    reopened.close()
+    assert len(ranks) == n_tokens and isinstance(probe, str)
+
+    score_ratio = (
+        arms["disk"]["score_seconds"] / arms["memory"]["score_seconds"]
+        if arms["memory"]["score_seconds"]
+        else 0.0
+    )
+    print(
+        f"cold-open    {cold_open_seconds * 1000:7.1f}ms  ({n_tokens} tokens)\n"
+        f"disk/memory  {score_ratio:7.2f}x fold-scoring   "
+        f"identical scores: {'yes' if identical else 'NO'}"
+    )
+
+    record = {
+        "benchmark": "storage",
+        "scale": scale_name,
+        "seed": seed,
+        "messages": arms["memory"]["messages"],
+        "tokens": n_tokens,
+        "memory_ingest_seconds": arms["memory"]["ingest_seconds"],
+        "disk_ingest_seconds": arms["disk"]["ingest_seconds"],
+        "memory_ingest_msgs_per_sec": arms["memory"]["ingest_msgs_per_sec"],
+        "disk_ingest_msgs_per_sec": arms["disk"]["ingest_msgs_per_sec"],
+        "cold_open_seconds": cold_open_seconds,
+        "memory_score_seconds": arms["memory"]["score_seconds"],
+        "disk_score_seconds": arms["disk"]["score_seconds"],
+        "disk_over_memory_score_ratio": score_ratio,
+        "identical_scores": identical,
+    }
+    count = _append_record(json_out, record)
+    print(f"appended to {json_out} ({count} record(s))")
+    return 0 if identical else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=tuple(_SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", type=Path, default=None,
+                        help="record path (default: benchmarks/results/"
+                             "BENCH_storage[.<scale>].json, appended)")
+    args = parser.parse_args(argv)
+    return run(args.scale, args.seed, args.json or _default_json(args.scale))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

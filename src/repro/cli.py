@@ -44,8 +44,10 @@ than dying — with identical results on every path.  ``replicate
 --resume DIR`` checkpoints each replica record into ``DIR`` as it
 completes and loads completed replicas on restart, so a killed
 replication resumes where it stopped with byte-identical pooled
-output.  ``gc-shm`` reclaims shared-memory segments orphaned in
-``/dev/shm`` by killed runs.
+output.  ``gc`` reclaims every orphaned scratch resource left by
+killed runs — shared-memory segments in ``/dev/shm`` plus on-disk
+storage-backend directories (``repro_store_*``); ``gc-shm`` is the
+segments-only subset.
 
 Engine and experiment failures exit with a one-line ``error: ...``
 diagnostic and status 2 — never a traceback.
@@ -171,6 +173,7 @@ SCENARIO_COMMANDS: tuple[str, ...] = (
     "list-scenarios",
     "run-scenario",
     "replicate",
+    "gc",
     "gc-shm",
 )
 """Non-artifact subcommands, dispatched ahead of artifact parsing."""
@@ -560,6 +563,44 @@ def _main_gc_shm(argv: list[str]) -> int:
     return 0
 
 
+def build_gc_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro gc",
+        description="Reclaim every orphaned repro resource left by "
+        "killed processes: shared-memory segments under /dev/shm and "
+        "on-disk storage-backend directories (repro_store_*) under "
+        "REPRO_STORE_DIR or the system tempdir.  A resource is "
+        "orphaned when the pid baked into its name no longer runs.",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="also reclaim resources whose owner is still alive (for "
+        "wedged runs you have already decided to kill; live runs "
+        "using them will fail)",
+    )
+    return parser
+
+
+def _main_gc(argv: list[str]) -> int:
+    from repro import storage
+    from repro.engine import sharedmem
+
+    args = build_gc_parser().parse_args(argv)
+    try:
+        segments = sharedmem.gc_segments(include_live=args.all)
+        stores = storage.gc_stores(include_live=args.all)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name in segments:
+        print(f"unlinked /dev/shm/{name}")
+    for path in stores:
+        print(f"removed {path}")
+    print(f"{len(segments)} segment(s) and {len(stores)} store(s) reclaimed")
+    return 0
+
+
 def _workers_arg(value: str) -> int:
     # Delegate to the engine's own validation so the CLI can't drift
     # from what ParallelRunner accepts; argparse needs its error type.
@@ -619,6 +660,8 @@ def main(argv: list[str] | None = None) -> int:
         return _main_run_scenario(argv[1:])
     if argv and argv[0] == "replicate":
         return _main_replicate(argv[1:])
+    if argv and argv[0] == "gc":
+        return _main_gc(argv[1:])
     if argv and argv[0] == "gc-shm":
         return _main_gc_shm(argv[1:])
     args = build_parser().parse_args(argv)

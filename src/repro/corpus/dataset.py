@@ -32,7 +32,7 @@ from repro.spambayes.message import Email
 from repro.spambayes.token_table import TokenTable
 from repro.spambayes.tokenizer import Tokenizer, DEFAULT_TOKENIZER
 
-__all__ = ["LabeledMessage", "Dataset"]
+__all__ = ["LabeledMessage", "StoredMessage", "Dataset", "store_message"]
 
 
 @dataclass(slots=True)
@@ -79,6 +79,90 @@ class LabeledMessage:
         self._tokens = None
         self._token_ids = None
         self._ids_table = None
+
+
+class StoredMessage:
+    """A message whose encoded form lives in a backend message store.
+
+    The disk-backed counterpart of :class:`LabeledMessage`, duck-typed
+    to the same interface (``email``, ``is_spam``, ``msgid``,
+    ``tokens``, ``token_ids``, ``invalidate_tokens``) so datasets,
+    folds, the sweep engine and the stream runner handle both without
+    branching.  The handle itself holds only ``(store, row, label)``:
+
+    * ``token_ids(table)`` against the store's own ingest table is one
+      row fetch — no tokenization, no interning, no retained cache;
+      against any *other* table it decodes the stored IDs back to text
+      and re-encodes, same result as the in-memory path;
+    * ``tokens()`` decodes transiently and never caches — not caching
+      is the point; the memory the in-memory path spends on token sets
+      is exactly what the disk backend exists to avoid;
+    * ``email`` is re-materialized on demand through ``email_loader``
+      (synthetic corpora regenerate from the seed, file corpora
+      re-read the source); stores do not retain bodies.
+
+    Ingestion tokenizes once (see :func:`store_message`); handles
+    assume the same tokenizer configuration, like every cache in this
+    module.  Pickling materializes a plain :class:`LabeledMessage` —
+    handles are process-local because their store connections are.
+    """
+
+    __slots__ = ("_store", "_row", "is_spam", "_email_loader")
+
+    def __init__(self, store, row: int, is_spam: bool, email_loader=None) -> None:
+        self._store = store
+        self._row = row
+        self.is_spam = is_spam
+        self._email_loader = email_loader
+
+    @property
+    def msgid(self) -> str:
+        return self._store.msgid(self._row)
+
+    @property
+    def email(self) -> Email:
+        if self._email_loader is None:
+            raise CorpusError(
+                "message body was not retained by the message store "
+                "and no loader was provided at ingest"
+            )
+        return self._email_loader()
+
+    def tokens(self, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> frozenset[str]:
+        store = self._store
+        return frozenset(store.table.decode(store.ids(self._row)))
+
+    def token_ids(self, table: TokenTable, tokenizer: Tokenizer = DEFAULT_TOKENIZER) -> array:
+        if table is self._store.table:
+            return self._store.ids(self._row)
+        return table.encode_unique(self.tokens(tokenizer))
+
+    def invalidate_tokens(self) -> None:
+        """Nothing cached, nothing to invalidate (interface parity)."""
+
+    def __reduce__(self):
+        return (LabeledMessage, (self.email, self.is_spam))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StoredMessage(row={self._row}, is_spam={self.is_spam})"
+
+
+def store_message(
+    store,
+    email: Email,
+    is_spam: bool,
+    tokenizer: Tokenizer = DEFAULT_TOKENIZER,
+    email_loader=None,
+) -> StoredMessage:
+    """Ingest one message into a backend store, returning its handle.
+
+    The streaming-ingestion primitive: tokenize, intern into the
+    store's table (seed-stable batch order), append one row.  Nothing
+    about the email is retained in RAM afterwards.
+    """
+    ids = store.table.encode_unique(frozenset(tokenizer.tokenize(email)))
+    row = store.append(email.msgid, is_spam, ids)
+    return StoredMessage(store, row, is_spam, email_loader=email_loader)
 
 
 class Dataset:
@@ -248,7 +332,13 @@ class Dataset:
         arrays index straight into the classifier's count columns.
         """
         if table is None:
-            table = TokenTable()
+            # The backend decides where a fresh table lives (in-memory
+            # TokenTable by default; SQLite-backed under
+            # REPRO_STORE=disk).  Imported lazily: dataset is a leaf
+            # module the storage package's consumers also import.
+            from repro import storage
+
+            table = storage.active_backend().new_token_table()
         for message in self._messages:
             message.token_ids(table, tokenizer)
         return table

@@ -10,14 +10,15 @@ trips losslessly through a single file.
 
 from __future__ import annotations
 
+from functools import partial
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.errors import CorpusError
-from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.corpus.dataset import Dataset, LabeledMessage, store_message
 from repro.spambayes.message import Email
 
-__all__ = ["save_mbox", "load_mbox"]
+__all__ = ["save_mbox", "iter_mbox", "load_mbox"]
 
 _LABEL_HEADER = "X-Repro-Label"
 _MSGID_HEADER = "X-Repro-Msgid"
@@ -57,49 +58,90 @@ def save_mbox(dataset: Iterable[LabeledMessage], path: str | Path) -> int:
     return count
 
 
-def load_mbox(path: str | Path) -> Dataset:
-    """Read a dataset previously written by :func:`save_mbox`."""
+def _parse_mbox_message(lines: list[str], path: Path) -> LabeledMessage:
+    """One accumulated mboxo message block back into a LabeledMessage."""
+    raw = "\n".join(lines)
+    email = Email.from_text(raw)
+    label = email.get_header(_LABEL_HEADER)
+    msgid = email.get_header(_MSGID_HEADER) or ""
+    line_count_text = email.get_header(_BODY_LINES_HEADER)
+    if label not in ("spam", "ham") or line_count_text is None:
+        raise CorpusError(f"mbox message missing repro headers in {path}")
+    try:
+        line_count = int(line_count_text)
+    except ValueError as exc:
+        raise CorpusError(f"bad {_BODY_LINES_HEADER} value in {path}") from exc
+    headers = [
+        (name, value)
+        for name, value in email.iter_headers()
+        if name not in (_LABEL_HEADER, _MSGID_HEADER, _BODY_LINES_HEADER)
+    ]
+    body_lines = [
+        line[1:] if line.startswith(">" + _SEPARATOR_PREFIX) else line
+        for line in email.body.split("\n")
+    ][:line_count]
+    cleaned = Email(body="\n".join(body_lines), headers=headers, msgid=msgid)
+    return LabeledMessage(cleaned, is_spam=(label == "spam"))
+
+
+def iter_mbox(path: str | Path) -> Iterator[LabeledMessage]:
+    """Yield messages from an mboxo file lazily, in file order.
+
+    The file is streamed line by line and one message block is held at
+    a time, so callers that ingest into a backend store (or stop
+    early) never materialize the mailbox.
+    """
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        handle = open(path, "r", encoding="utf-8")
     except OSError as exc:
         raise CorpusError(f"cannot read mbox from {path}: {exc}") from exc
-    messages: list[LabeledMessage] = []
-    current_lines: list[str] = []
+    with handle:
+        current: list[str] = []
+        for raw in handle:
+            line = raw[:-1] if raw.endswith("\n") else raw
+            if line.startswith(_SEPARATOR_PREFIX):
+                if current:
+                    yield _parse_mbox_message(current, path)
+                current = []
+                continue
+            current.append(line)
+        if current:
+            yield _parse_mbox_message(current, path)
 
-    def flush() -> None:
-        if not current_lines:
-            return
-        raw = "\n".join(current_lines)
-        email = Email.from_text(raw)
-        label = email.get_header(_LABEL_HEADER)
-        msgid = email.get_header(_MSGID_HEADER) or ""
-        line_count_text = email.get_header(_BODY_LINES_HEADER)
-        if label not in ("spam", "ham") or line_count_text is None:
-            raise CorpusError(f"mbox message missing repro headers in {path}")
-        try:
-            line_count = int(line_count_text)
-        except ValueError as exc:
-            raise CorpusError(f"bad {_BODY_LINES_HEADER} value in {path}") from exc
-        headers = [
-            (name, value)
-            for name, value in email.iter_headers()
-            if name not in (_LABEL_HEADER, _MSGID_HEADER, _BODY_LINES_HEADER)
+
+def _mbox_email_at(path: Path, index: int) -> Email:
+    """Re-read the ``index``-th message's email from the source file."""
+    for position, message in enumerate(iter_mbox(path)):
+        if position == index:
+            return message.email
+    raise CorpusError(f"mbox at {path} no longer has a message {index}")
+
+
+def load_mbox(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_mbox`.
+
+    Messages stream through :func:`iter_mbox`; under
+    ``REPRO_STORE=disk`` each one is encoded into a backend message
+    store as it arrives (bodies re-read from the mailbox on demand),
+    so the corpus never fully materializes in RAM.
+    """
+    path = Path(path)
+    from repro import storage
+
+    store = storage.active_backend().corpus_store()
+    if store is None:
+        messages: list = list(iter_mbox(path))
+    else:
+        messages = [
+            store_message(
+                store,
+                message.email,
+                message.is_spam,
+                email_loader=partial(_mbox_email_at, path, position),
+            )
+            for position, message in enumerate(iter_mbox(path))
         ]
-        body_lines = [
-            line[1:] if line.startswith(">" + _SEPARATOR_PREFIX) else line
-            for line in email.body.split("\n")
-        ][:line_count]
-        cleaned = Email(body="\n".join(body_lines), headers=headers, msgid=msgid)
-        messages.append(LabeledMessage(cleaned, is_spam=(label == "spam")))
-
-    for line in text.split("\n"):
-        if line.startswith(_SEPARATOR_PREFIX):
-            flush()
-            current_lines = []
-            continue
-        current_lines.append(line)
-    flush()
     if not messages:
         raise CorpusError(f"mbox at {path} contained no messages")
     return Dataset(messages, name=f"mbox({path.name})")

@@ -18,11 +18,13 @@ against the genuine data unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
+from typing import Iterator
 
 from repro.errors import CorpusError
 from repro.rng import SeedSpawner
-from repro.corpus.dataset import Dataset, LabeledMessage
+from repro.corpus.dataset import Dataset, LabeledMessage, store_message
 from repro.corpus.generator import EmailGenerator, GeneratorConfig
 from repro.corpus.vocabulary import (
     Vocabulary,
@@ -31,11 +33,13 @@ from repro.corpus.vocabulary import (
     SMALL_PROFILE,
 )
 from repro.spambayes.message import Email
+from repro.spambayes.token_table import TokenTable
 
 __all__ = [
     "TREC05_SPAM_COUNT",
     "TREC05_HAM_COUNT",
     "TrecStyleCorpus",
+    "iter_trec_corpus",
     "load_trec_corpus",
 ]
 
@@ -46,12 +50,19 @@ _TREC05_SPAM_PREVALENCE = TREC05_SPAM_COUNT / (TREC05_SPAM_COUNT + TREC05_HAM_CO
 
 @dataclass(frozen=True)
 class TrecStyleCorpus:
-    """A generated corpus plus everything attacks need to target it."""
+    """A generated corpus plus everything attacks need to target it.
+
+    ``table`` is ``None`` when the corpus lives in RAM (the memory
+    backend) and the ingest token table when it was streamed into a
+    backend message store — consumers that own a classifier adopt it
+    so stored token-ID rows index straight into the count columns.
+    """
 
     dataset: Dataset
     vocabulary: Vocabulary
     generator: EmailGenerator
     seed: int
+    table: TokenTable | None = None
 
     @classmethod
     def generate(
@@ -76,15 +87,55 @@ class TrecStyleCorpus:
             raise CorpusError(f"n_spam must be >= 0, got {n_spam}")
         vocabulary = Vocabulary.build(profile, seed=seed)
         generator = EmailGenerator(vocabulary, config=config, seed=seed)
-        messages = [
-            LabeledMessage(generator.ham_email(i), is_spam=False) for i in range(n_ham)
-        ]
-        messages.extend(
-            LabeledMessage(generator.spam_email(i), is_spam=True) for i in range(n_spam)
-        )
+        from repro import storage
+
+        store = storage.active_backend().corpus_store()
+        if store is None:
+            messages = [
+                LabeledMessage(generator.ham_email(i), is_spam=False)
+                for i in range(n_ham)
+            ]
+            messages.extend(
+                LabeledMessage(generator.spam_email(i), is_spam=True)
+                for i in range(n_spam)
+            )
+            table = None
+        else:
+            # Streaming ingestion: each email is generated, tokenized,
+            # encoded into the store and dropped — only the O(1)
+            # handles stay in RAM.  ``ham_email(i)``/``spam_email(i)``
+            # are pure functions of (vocabulary, config, seed, i), so
+            # handles re-materialize bodies on demand for free.
+            messages = [
+                store_message(
+                    store,
+                    generator.ham_email(i),
+                    False,
+                    email_loader=partial(generator.ham_email, i),
+                )
+                for i in range(n_ham)
+            ]
+            messages.extend(
+                store_message(
+                    store,
+                    generator.spam_email(i),
+                    True,
+                    email_loader=partial(generator.spam_email, i),
+                )
+                for i in range(n_spam)
+            )
+            table = store.table
+        # Same RNG, same-length list, same permutation either way:
+        # corpus order is backend-independent by construction.
         SeedSpawner(seed).rng("trec-shuffle").shuffle(messages)
         dataset = Dataset(messages, name=f"trec-style(seed={seed})")
-        return cls(dataset=dataset, vocabulary=vocabulary, generator=generator, seed=seed)
+        return cls(
+            dataset=dataset,
+            vocabulary=vocabulary,
+            generator=generator,
+            seed=seed,
+            table=table,
+        )
 
     @classmethod
     def generate_paper_scale(cls, seed: int = 0) -> "TrecStyleCorpus":
@@ -101,6 +152,45 @@ class TrecStyleCorpus:
         )
 
 
+def _read_trec_message(index_parent: Path, relative: str) -> Email:
+    message_path = (index_parent / relative).resolve()
+    try:
+        text = message_path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise CorpusError(f"cannot read TREC message {message_path}: {exc}") from exc
+    return Email.from_text(text, msgid=relative)
+
+
+def iter_trec_corpus(
+    root: str | Path, limit: int | None = None
+) -> Iterator[LabeledMessage]:
+    """Yield a real TREC corpus's messages lazily, in index order.
+
+    One message is materialized at a time — the index is streamed and
+    each referenced file is read only when its message is consumed, so
+    callers that ingest into a backend store (or stop early via
+    ``limit``) never hold the corpus in RAM.
+    """
+    root = Path(root)
+    index_path = root / "full" / "index"
+    if not index_path.is_file():
+        raise CorpusError(f"no TREC index at {index_path}")
+    yielded = 0
+    with open(index_path, "r", encoding="utf-8", errors="replace") as index_file:
+        for line_number, line in enumerate(index_file):
+            if limit is not None and yielded >= limit:
+                break
+            parts = line.split()
+            if len(parts) != 2:
+                raise CorpusError(f"malformed TREC index line {line_number}: {line!r}")
+            label, relative = parts
+            if label not in ("spam", "ham"):
+                raise CorpusError(f"unknown TREC label {label!r} on line {line_number}")
+            email = _read_trec_message(index_path.parent, relative)
+            yield LabeledMessage(email, is_spam=(label == "spam"))
+            yielded += 1
+
+
 def load_trec_corpus(root: str | Path, limit: int | None = None) -> Dataset:
     """Load a real TREC spam corpus from its standard layout.
 
@@ -109,29 +199,31 @@ def load_trec_corpus(root: str | Path, limit: int | None = None) -> Dataset:
     Only usable when the (public but non-redistributable) corpus has
     been placed on disk; every experiment accepts the resulting
     :class:`Dataset` in place of the synthetic one.
+
+    Messages stream through :func:`iter_trec_corpus`; under
+    ``REPRO_STORE=disk`` each one is encoded into a backend message
+    store as it arrives (bodies re-read from the source tree on
+    demand), so the corpus never fully materializes in RAM.
     """
     root = Path(root)
-    index_path = root / "full" / "index"
-    if not index_path.is_file():
-        raise CorpusError(f"no TREC index at {index_path}")
-    messages: list[LabeledMessage] = []
-    with open(index_path, "r", encoding="utf-8", errors="replace") as index_file:
-        for line_number, line in enumerate(index_file):
-            if limit is not None and len(messages) >= limit:
-                break
-            parts = line.split()
-            if len(parts) != 2:
-                raise CorpusError(f"malformed TREC index line {line_number}: {line!r}")
-            label, relative = parts
-            if label not in ("spam", "ham"):
-                raise CorpusError(f"unknown TREC label {label!r} on line {line_number}")
-            message_path = (index_path.parent / relative).resolve()
-            try:
-                text = message_path.read_text(encoding="utf-8", errors="replace")
-            except OSError as exc:
-                raise CorpusError(f"cannot read TREC message {message_path}: {exc}") from exc
-            email = Email.from_text(text, msgid=relative)
-            messages.append(LabeledMessage(email, is_spam=(label == "spam")))
+    from repro import storage
+
+    store = storage.active_backend().corpus_store()
+    if store is None:
+        messages: list = list(iter_trec_corpus(root, limit))
+    else:
+        index_parent = root / "full"
+        messages = [
+            store_message(
+                store,
+                message.email,
+                message.is_spam,
+                email_loader=partial(
+                    _read_trec_message, index_parent, message.email.msgid
+                ),
+            )
+            for message in iter_trec_corpus(root, limit)
+        ]
     if not messages:
-        raise CorpusError(f"TREC index at {index_path} contained no messages")
+        raise CorpusError(f"TREC index at {root / 'full' / 'index'} contained no messages")
     return Dataset(messages, name=f"trec({root.name})")

@@ -19,11 +19,11 @@ replica simply re-runs.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 from repro.errors import PersistenceError
 from repro.experiments.results import ExperimentRecord
+from repro.storage.io import atomic_write_text
 
 __all__ = ["ReplicaStore"]
 
@@ -61,10 +61,9 @@ class ReplicaStore:
             "record": record.as_dict(),
         }
         target = self.path(seed)
-        tmp = target.with_suffix(target.suffix + ".tmp")
         try:
-            tmp.write_text(json.dumps(envelope, indent=2), encoding="utf-8")
-            os.replace(tmp, target)
+            # tmp + os.replace, via the storage layer's shared helper.
+            atomic_write_text(target, json.dumps(envelope, indent=2))
         except OSError as exc:
             raise PersistenceError(
                 f"cannot write checkpoint {target}: {exc}"

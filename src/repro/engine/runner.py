@@ -528,6 +528,18 @@ class ParallelRunner:
 
         if supervise.current_policy() is not None:
             return supervise.supervised_map(fn, context, tasks, self.workers)
+        # Fork-started workers inherit ``initargs`` by memory, not by
+        # pickle — a disk-backed context would hand every worker the
+        # parent's *live* SQLite token table and MAP_SHARED count
+        # columns, so sibling interns collide and worker-side learning
+        # bleeds across processes.  A pickle roundtrip first gives
+        # workers the same independent by-value copies the shared-pool
+        # path ships (DiskTokenTable reduces to a plain in-memory
+        # table); memory-backend contexts skip the copy.
+        from repro.storage import store_name
+
+        if store_name() == "disk":
+            context = pickle.loads(pickle.dumps(context))
         results: list[Any] = [None] * len(tasks)
         max_workers = min(self.workers, len(tasks))
         with ProcessPoolExecutor(

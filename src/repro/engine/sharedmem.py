@@ -432,13 +432,11 @@ def _pid_of_segment(name: str) -> int | None:
 
 
 def _pid_alive(pid: int) -> bool:
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:  # pragma: no cover - exists, owned elsewhere
-        return True
-    return True
+    # Shared with the storage layer's on-disk store janitor: both
+    # decide orphan-ness from a pid baked into a resource name.
+    from repro.storage.base import pid_alive
+
+    return pid_alive(pid)
 
 
 def orphaned_segments(include_live: bool = False) -> list[str]:

@@ -203,11 +203,22 @@ class Classifier:
         self,
         options: ClassifierOptions = DEFAULT_OPTIONS,
         table: TokenTable | None = None,
+        columns=None,
     ) -> None:
         self.options = options
         self._table = table if table is not None else TokenTable()
-        self._spam = array(TOKEN_ID_TYPECODE)
-        self._ham = array(TOKEN_ID_TYPECODE)
+        # ``columns`` is a count-column store from the storage layer
+        # (``repro.storage``); the default is the in-memory store whose
+        # behaviour is the pre-storage-layer code extracted verbatim.
+        # Derived classifiers (copies, unpickles, bulk loads) always
+        # get in-memory columns — only explicitly wired classifiers
+        # (``create_classifier`` under REPRO_STORE=disk) spill counts.
+        if columns is None:
+            from repro.storage.memory import MemoryCountColumns
+
+            columns = MemoryCountColumns()
+        self._columns = columns
+        self._spam, self._ham = columns.grow(0)
         self._nspam = 0
         self._nham = 0
         self._active = 0  # IDs with spamcount + hamcount > 0
@@ -292,11 +303,9 @@ class Classifier:
 
     def _ensure_columns(self) -> None:
         """Grow the count columns to cover every interned ID."""
-        grow = len(self._table) - len(self._spam)
-        if grow > 0:
-            zeros = bytes(grow * self._spam.itemsize)
-            self._spam.frombytes(zeros)
-            self._ham.frombytes(zeros)
+        n = len(self._table)
+        if len(self._spam) < n:
+            self._spam, self._ham = self._columns.grow(n)
 
     def _memo_list(self) -> list:
         """The flat significance memo, validated and sized to the table.
@@ -949,8 +958,31 @@ class Classifier:
         clone._nham = self._nham
         clone._spam = array(TOKEN_ID_TYPECODE, self._spam)
         clone._ham = array(TOKEN_ID_TYPECODE, self._ham)
+        clone._adopt_columns()
         clone._active = self._active
         return clone
+
+    def _adopt_columns(self) -> None:
+        """Rebind the column store around the current ``_spam``/``_ham``.
+
+        Copies and unpickled classifiers hold plain in-memory arrays
+        regardless of where the original's counts lived; this re-wraps
+        them so future column growth goes through a matching store.
+        """
+        from repro.storage.memory import MemoryCountColumns
+
+        self._columns = MemoryCountColumns(self._spam, self._ham)
+
+    def _export_column(self, column):
+        """A picklable stand-in for one count column.
+
+        In-memory columns are shipped as-is (byte-identical pickles to
+        the pre-storage-layer format); backend views are materialized
+        into plain arrays.
+        """
+        if type(column) is array:
+            return column
+        return array(TOKEN_ID_TYPECODE, column)
 
     def __getstate__(self) -> dict:
         # Memos are cheap to rebuild and snapshots are owner-bound, so
@@ -963,8 +995,8 @@ class Classifier:
         return {
             "options": self.options,
             "table": self._table,
-            "spam": self._spam,
-            "ham": self._ham,
+            "spam": self._export_column(self._spam),
+            "ham": self._export_column(self._ham),
             "nspam": self._nspam,
             "nham": self._nham,
             "active": self._active,
@@ -975,6 +1007,7 @@ class Classifier:
         self._table = state["table"]
         self._spam = state["spam"]
         self._ham = state["ham"]
+        self._adopt_columns()
         self._nspam = state["nspam"]
         self._nham = state["nham"]
         self._active = state["active"]

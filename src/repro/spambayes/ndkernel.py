@@ -119,17 +119,47 @@ def classifier_class() -> type[Classifier]:
     return NDClassifier if kernel_name() == "nd" else Classifier
 
 
+def backend_columns():
+    """A count-column store from the active storage backend.
+
+    The ``kind`` matches the active kernel, so whichever classifier
+    class :func:`create_classifier` builds gets columns it can index
+    natively (NumPy int64 views for ``nd``, flat buffers for pure).
+    """
+    from repro import storage
+
+    return storage.active_backend().count_columns(
+        "nd" if kernel_name() == "nd" else "pure"
+    )
+
+
 def create_classifier(
     options: ClassifierOptions = DEFAULT_OPTIONS,
     table: TokenTable | None = None,
+    columns=None,
 ) -> Classifier:
     """Build a classifier on the active kernel (the engine-wide hook).
 
     Every engine path that previously constructed ``Classifier(...)``
     directly goes through here, so one environment variable flips the
-    whole system between the vectorized kernel and the pure oracle.
+    whole system between the vectorized kernel and the pure oracle —
+    and a second one (``REPRO_STORE``) decides where a *root*
+    classifier's state lives: when no ``table`` is shared in, both the
+    token table and the count columns come from the active storage
+    backend.  Classifiers built over an existing table keep in-memory
+    columns unless the caller passes a store explicitly (derived
+    classifiers — RONI candidates, clean twins, fold copies — are
+    ephemeral, so spilling them buys nothing).
     """
-    return classifier_class()(options, table=table)
+    cls = classifier_class()
+    if table is None:
+        from repro import storage
+
+        backend = storage.active_backend()
+        table = backend.new_token_table()
+        if columns is None:
+            columns = backend.count_columns("nd" if cls is NDClassifier else "pure")
+    return cls(options, table=table, columns=columns)
 
 
 def _as_id_index(ids: Sequence[int]) -> "np.ndarray":
@@ -285,12 +315,15 @@ class NDClassifier(Classifier):
         self,
         options: ClassifierOptions = DEFAULT_OPTIONS,
         table: TokenTable | None = None,
+        columns=None,
     ) -> None:
         if np is None:  # pragma: no cover - numpy is in the baked image
             raise ConfigurationError("NDClassifier requires numpy")
-        super().__init__(options, table=table)
-        self._spam = self._spam_buf = np.zeros(0, dtype=_ID_DTYPE)
-        self._ham = self._ham_buf = np.zeros(0, dtype=_ID_DTYPE)
+        if columns is None:
+            from repro.storage.memory import NDMemoryCountColumns
+
+            columns = NDMemoryCountColumns()
+        super().__init__(options, table=table, columns=columns)
         self._nd_reset()
 
     def _nd_reset(self) -> None:
@@ -321,23 +354,12 @@ class NDClassifier(Classifier):
     # ------------------------------------------------------------------
 
     def _ensure_columns(self) -> None:
+        # Slots past any previous view are untouched zeros in the
+        # store's capacity buffers, so growing the view is the same as
+        # array.frombytes(zeros) was.
         n = len(self._table)
-        if self._spam.shape[0] >= n:
-            return
-        buf = self._spam_buf
-        if buf.shape[0] < n:
-            capacity = max(n, 2 * buf.shape[0], 256)
-            spam_buf = np.zeros(capacity, dtype=_ID_DTYPE)
-            ham_buf = np.zeros(capacity, dtype=_ID_DTYPE)
-            used = self._spam.shape[0]
-            spam_buf[:used] = self._spam
-            ham_buf[:used] = self._ham
-            self._spam_buf = spam_buf
-            self._ham_buf = ham_buf
-        # Slots past any previous view are untouched zeros, so growing
-        # the view is the same as array.frombytes(zeros) was.
-        self._spam = self._spam_buf[:n]
-        self._ham = self._ham_buf[:n]
+        if self._spam.shape[0] < n:
+            self._spam, self._ham = self._columns.grow(n)
 
     def word_info(self, token: str) -> WordInfo | None:
         info = super().word_info(token)
@@ -888,15 +910,28 @@ class NDClassifier(Classifier):
         clone = self.__class__(self.options, table=self._table)
         clone._nspam = self._nspam
         clone._nham = self._nham
-        clone._spam = clone._spam_buf = self._spam.copy()
-        clone._ham = clone._ham_buf = self._ham.copy()
+        clone._spam = self._spam.copy()
+        clone._ham = self._ham.copy()
+        clone._adopt_columns()
         clone._active = self._active
         return clone
 
+    def _adopt_columns(self) -> None:
+        from repro.storage.memory import NDMemoryCountColumns
+
+        self._columns = NDMemoryCountColumns.adopt(self._spam, self._ham)
+
+    def _export_column(self, column):
+        # ND pickles ship the ndarray itself (mmap-backed views pickle
+        # by value like any other ndarray), preserving the historical
+        # payload format.
+        return column
+
     def __setstate__(self, state: dict) -> None:
         super().__setstate__(state)
-        self._spam = self._spam_buf = np.ascontiguousarray(self._spam, dtype=_ID_DTYPE)
-        self._ham = self._ham_buf = np.ascontiguousarray(self._ham, dtype=_ID_DTYPE)
+        self._spam = np.ascontiguousarray(self._spam, dtype=_ID_DTYPE)
+        self._ham = np.ascontiguousarray(self._ham, dtype=_ID_DTYPE)
+        self._adopt_columns()
         self._nd_reset()
 
 

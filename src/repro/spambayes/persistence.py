@@ -20,7 +20,6 @@ which gzip recovers.
 
 from __future__ import annotations
 
-import gzip
 import json
 from dataclasses import asdict
 from pathlib import Path
@@ -29,21 +28,11 @@ from typing import Any
 from repro.errors import PersistenceError, TrainingError
 from repro.spambayes.classifier import Classifier
 from repro.spambayes.options import ClassifierOptions
+from repro.storage.io import read_payload_text, write_payload_text
 
 __all__ = ["classifier_to_dict", "classifier_from_dict", "save_classifier", "load_classifier"]
 
 _FORMAT = "repro-spambayes-v1"
-
-
-def _is_gzip_path(path: Path) -> bool:
-    """Gzip when the suffix is ``.gz`` in any casing (``.GZ``, ``.Gz``).
-
-    The check is case-insensitive on save *and* load: a classifier
-    written to ``model.json.GZ`` must come back through the same codec,
-    not silently round-trip as plain text that a later ``.gz`` reader
-    rejects.
-    """
-    return path.suffix.lower() == ".gz"
 
 
 def classifier_to_dict(classifier: Classifier) -> dict[str, Any]:
@@ -96,15 +85,17 @@ def classifier_from_dict(data: dict[str, Any]) -> Classifier:
 
 
 def save_classifier(classifier: Classifier, path: str | Path) -> None:
-    """Write ``classifier`` to ``path`` (gzipped when it ends in .gz)."""
+    """Write ``classifier`` to ``path`` (gzipped when it ends in .gz).
+
+    Gzip-by-suffix (case-insensitive, on save *and* load — a dump
+    written to ``model.json.GZ`` must come back through the same
+    codec) and atomic replacement both live in
+    :mod:`repro.storage.io`, shared with every other save path.
+    """
     path = Path(path)
     payload = json.dumps(classifier_to_dict(classifier), separators=(",", ":"))
     try:
-        if _is_gzip_path(path):
-            with gzip.open(path, "wt", encoding="utf-8") as handle:
-                handle.write(payload)
-        else:
-            path.write_text(payload, encoding="utf-8")
+        write_payload_text(path, payload)
     except OSError as exc:
         raise PersistenceError(f"cannot write classifier to {path}: {exc}") from exc
 
@@ -113,12 +104,7 @@ def load_classifier(path: str | Path) -> Classifier:
     """Read a classifier previously written by :func:`save_classifier`."""
     path = Path(path)
     try:
-        if _is_gzip_path(path):
-            with gzip.open(path, "rt", encoding="utf-8") as handle:
-                payload = handle.read()
-        else:
-            payload = path.read_text(encoding="utf-8")
-        data = json.loads(payload)
+        data = json.loads(read_payload_text(path))
     except OSError as exc:
         raise PersistenceError(f"cannot read classifier from {path}: {exc}") from exc
     except json.JSONDecodeError as exc:

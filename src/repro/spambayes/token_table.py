@@ -37,12 +37,45 @@ twice it.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
-__all__ = ["TokenTable"]
+__all__ = ["TokenTable", "build_text_ranks", "finish_encode"]
 
 TOKEN_ID_TYPECODE = "l"
 """Array typecode used for token-ID storage throughout the project."""
+
+
+def finish_encode(ids: list[int], new: list[str], intern: Callable[[str], int]) -> array:
+    """Finish a bulk encode: intern ``new`` tokens, return sorted IDs.
+
+    The seed-stability half of the encoding contract lives here, shared
+    by every table implementation (in-memory and disk-backed): new
+    tokens are interned in **sorted text order** so ID assignment never
+    depends on set iteration order, and the combined ID list is sorted
+    so identical token sets always encode to identical arrays.
+    """
+    if new:
+        new.sort()
+        for token in new:
+            ids.append(intern(token))
+    ids.sort()
+    return array(TOKEN_ID_TYPECODE, ids)
+
+
+def build_text_ranks(tokens: Sequence[str]) -> array:
+    """Rank of each token's text in the sorted vocabulary.
+
+    ``ranks[tid]`` is the position token ``tid`` would occupy if the
+    vocabulary were sorted by text; Python's ``sorted`` does the
+    ordering so the ranks reproduce exactly the string comparisons the
+    pure-Python combiner makes.  Shared by every table implementation.
+    """
+    n = len(tokens)
+    ranks = array(TOKEN_ID_TYPECODE, bytes(n * array(TOKEN_ID_TYPECODE).itemsize))
+    order = sorted(range(n), key=tokens.__getitem__)
+    for rank, tid in enumerate(order):
+        ranks[tid] = rank
+    return ranks
 
 
 class TokenTable:
@@ -98,21 +131,16 @@ class TokenTable:
         worker processes.
         """
         unique = tokens if isinstance(tokens, (set, frozenset)) else set(tokens)
-        intern = self._ids.get
+        lookup = self._ids.get
         new: list[str] = []
         ids: list[int] = []
         for token in unique:
-            tid = intern(token)
+            tid = lookup(token)
             if tid is None:
                 new.append(token)
             else:
                 ids.append(tid)
-        if new:
-            new.sort()
-            for token in new:
-                ids.append(self.intern(token))
-        ids.sort()
-        return array(TOKEN_ID_TYPECODE, ids)
+        return finish_encode(ids, new, self.intern)
 
     def decode(self, ids: Sequence[int]) -> list[str]:
         """Token texts for a sequence of IDs (inverse of encoding)."""
@@ -134,11 +162,7 @@ class TokenTable:
         cached = self._rank_cache
         n = len(self._tokens)
         if cached is None or len(cached) != n:
-            ranks = array(TOKEN_ID_TYPECODE, bytes(n * array(TOKEN_ID_TYPECODE).itemsize))
-            order = sorted(range(n), key=self._tokens.__getitem__)
-            for rank, tid in enumerate(order):
-                ranks[tid] = rank
-            self._rank_cache = cached = ranks
+            self._rank_cache = cached = build_text_ranks(self._tokens)
         return cached
 
     # ------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Shared file-payload helpers for every save/load path.
+
+One place for the two concerns persistence and checkpointing used to
+duplicate:
+
+* **gzip-by-suffix** — a ``.gz`` path is transparently compressed on
+  write and decompressed on read, same text semantics either way;
+* **atomic replace** — payloads land via a temporary sibling +
+  ``os.replace`` so a crash mid-write can never leave a truncated
+  file where a reader expects a complete one.
+
+Helpers raise ``OSError`` (and ``gzip`` errors, which subclass it);
+callers wrap into their own error taxonomy (``PersistenceError``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_text",
+    "is_gzip_path",
+    "read_payload_text",
+    "write_payload_text",
+]
+
+_ENCODING = "utf-8"
+
+
+def is_gzip_path(path: Path) -> bool:
+    """Compression is keyed on the suffix so files self-describe."""
+    return path.suffix.lower() == ".gz"
+
+
+def read_payload_text(path: Path) -> str:
+    """Read a text payload, decompressing when the suffix says so."""
+    path = Path(path)
+    if is_gzip_path(path):
+        with gzip.open(path, "rt", encoding=_ENCODING) as handle:
+            return handle.read()
+    return path.read_text(encoding=_ENCODING)
+
+
+def write_payload_text(path: Path, text: str) -> None:
+    """Atomically write a text payload, compressing ``.gz`` paths.
+
+    The temporary sibling carries the final name plus ``.tmp.<pid>``
+    so concurrent writers from different processes never collide, and
+    ``os.replace`` keeps the swap atomic on POSIX.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        if is_gzip_path(path):
+            # mtime=0 and an empty embedded filename keep the
+            # compressed payload deterministic: the same classifier
+            # state always produces the same bytes, whatever the path.
+            with open(tmp, "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", fileobj=raw, mode="wb", mtime=0
+                ) as handle:
+                    handle.write(text.encode(_ENCODING))
+        else:
+            tmp.write_text(text, encoding=_ENCODING)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Plain-text atomic write (no gzip branch) for checkpoints."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding=_ENCODING)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()

@@ -82,7 +82,7 @@ from repro.experiments.metrics import ConfusionCounts
 from repro.experiments.results import CurvePoint, ExperimentRecord, Series
 from repro.rng import SeedSpawner
 from repro.spambayes.classifier import Classifier
-from repro.spambayes.ndkernel import create_classifier
+from repro.spambayes.ndkernel import backend_columns, create_classifier
 from repro.stream.defenses import build_tick_defense
 from repro.stream.profile import PhaseTimer, StreamProfile
 from repro.stream.spec import StreamSpec
@@ -312,7 +312,7 @@ class StreamRunner:
             attack = build_attack_variants(
                 corpus, (spec.attack_variant,), seed=spec.seed, pool=pool
             )[spec.attack_variant]
-        return spawner, ham_stream, spam_stream, test, attack
+        return spawner, ham_stream, spam_stream, test, attack, corpus.table
 
     # ------------------------------------------------------------------
     # The tick loop
@@ -324,10 +324,21 @@ class StreamRunner:
         timer = PhaseTimer(spec.profile_phases)
         run_start = time.perf_counter()
         with timer.phase("prepare"):
-            spawner, ham_stream, spam_stream, test, attack = self._prepare()
+            spawner, ham_stream, spam_stream, test, attack, table = self._prepare()
             counts = spec.tick_attack_counts()
 
-            classifier = create_classifier(spec.options)
+            if table is None:
+                classifier = create_classifier(spec.options)
+            else:
+                # Backend-stored corpus: adopt the ingest table so every
+                # stored token-ID row indexes the count columns
+                # directly, and take backend columns for the stream's
+                # root classifier (the one whose vocabulary grows with
+                # the corpus).  Record-identical to the in-memory path:
+                # records never depend on table layout.
+                classifier = create_classifier(
+                    spec.options, table=table, columns=backend_columns()
+                )
             # Encode the held-out set once against the stream's table:
             # every tick's evaluation is then one bulk kernel pass over
             # cached ID arrays (the table is append-only, so the arrays

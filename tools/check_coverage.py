@@ -46,6 +46,7 @@ DEFAULT_REGIONS: tuple[tuple[str, float], ...] = (
     ("repro/stream/", 90.0),
     ("repro/spambayes/ndkernel.py", 90.0),
     ("repro/engine/sharedmem.py", 90.0),
+    ("repro/storage/", 90.0),
 )
 
 

@@ -78,6 +78,9 @@ def check_cli_invocation(doc: Path, words: list[str], cli: dict) -> list[str]:
     elif words and words[0] == "gc-shm":
         valid_words, valid_flags = set(), cli["gc_shm_flags"]
         words = words[1:]
+    elif words and words[0] == "gc":
+        valid_words, valid_flags = set(), cli["gc_flags"]
+        words = words[1:]
     else:
         valid_words, valid_flags = cli["artifacts"], cli["artifact_flags"]
     seen_flag = False
@@ -101,6 +104,38 @@ def check_cli_invocation(doc: Path, words: list[str], cli: dict) -> list[str]:
     return problems
 
 
+ENV_VAR = re.compile(r"\bREPRO_[A-Z_]+\b")
+
+
+def known_env_vars() -> set[str]:
+    """Every ``REPRO_*`` knob the code actually reads.
+
+    Sourced from the live constants where they exist so a renamed knob
+    fails docs-check instead of silently orphaning its walkthrough.
+    """
+    from repro.engine.faults import FAULTS_ENV
+    from repro.engine.sharedmem import SHM_ENV
+    from repro.engine.supervise import DEGRADE_ENV, RETRIES_ENV, TIMEOUT_ENV
+    from repro.spambayes.ndkernel import KERNEL_ENV
+    from repro.storage import STORE_DIR_ENV, STORE_ENV
+
+    return {
+        FAULTS_ENV,
+        SHM_ENV,
+        TIMEOUT_ENV,
+        RETRIES_ENV,
+        DEGRADE_ENV,
+        KERNEL_ENV,
+        STORE_ENV,
+        STORE_DIR_ENV,
+        # Read inline via os.environ rather than a named constant:
+        "REPRO_WORKERS",
+        "REPRO_SEED",
+        "REPRO_SCALE",
+        "REPRO_EXAMPLE_SCALE",
+    }
+
+
 def check_file(doc: Path, cli: dict) -> list[str]:
     problems: list[str] = []
     text = doc.read_text(encoding="utf-8")
@@ -115,6 +150,11 @@ def check_file(doc: Path, cli: dict) -> list[str]:
 
     for match in CODE_SPAN.finditer(text):
         span = match.group(1).strip()
+        for var in ENV_VAR.findall(span):
+            if var not in cli["env_vars"]:
+                problems.append(
+                    f"{doc.name}: unknown environment variable {var!r}"
+                )
         if not looks_like_repo_path(span):
             continue
         if not (REPO_ROOT / span).exists():
@@ -141,6 +181,7 @@ def cli_tables() -> dict:
     """
     from repro.cli import (
         ARTIFACTS,
+        build_gc_parser,
         build_gc_shm_parser,
         build_parser,
         build_replicate_parser,
@@ -155,6 +196,8 @@ def cli_tables() -> dict:
         "scenario_flags": _flags_of(build_run_scenario_parser()),
         "replicate_flags": _flags_of(build_replicate_parser()),
         "gc_shm_flags": _flags_of(build_gc_shm_parser()),
+        "gc_flags": _flags_of(build_gc_parser()),
+        "env_vars": known_env_vars(),
     }
 
 
