@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream bench-storage bench-large docs-check check
+.PHONY: test bench-smoke bench bench-core bench-scenario bench-replication bench-stream bench-storage bench-serve bench-large docs-check check
 
 # Tier-1 gate: the full test suite, fail-fast.
 test:
@@ -24,6 +24,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --workers 2
 	$(PYTHON) benchmarks/bench_stream_throughput.py --scale smoke --ticks
 	$(PYTHON) benchmarks/bench_storage.py --scale smoke
+	$(PYTHON) benchmarks/bench_serve.py --scale smoke
 
 # The classifier-core micro-benchmarks at the default (1/10) scale;
 # writes benchmarks/results/BENCH_classifier_core.json.
@@ -53,6 +54,13 @@ bench-stream:
 # benchmarks/results/BENCH_storage.json.
 bench-storage:
 	$(PYTHON) benchmarks/bench_storage.py --scale small
+
+# The serving layer under concurrent load: batched vs unbatched
+# scoring SLOs (p50/p99, msgs/sec), served scores asserted identical
+# to the library; enforces the batched >= 2x unbatched floor and
+# appends to benchmarks/results/BENCH_serve.json.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --scale small
 
 # The headline perf scale: big enough that the NumPy kernel's
 # fold-scoring speedup and the pooled engines' fixed costs are

@@ -173,6 +173,7 @@ SCENARIO_COMMANDS: tuple[str, ...] = (
     "list-scenarios",
     "run-scenario",
     "replicate",
+    "serve",
     "gc",
     "gc-shm",
 )
@@ -531,6 +532,115 @@ def _main_replicate(argv: list[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the always-on filter service: a long-lived "
+        "daemon scoring and training one live classifier over a "
+        "length-prefixed JSON protocol (verbs: score, train, feedback, "
+        "snapshot, stats, shutdown).  Concurrent score requests are "
+        "coalesced into bulk kernel calls; training serializes through "
+        "a single writer task.  Kernel and storage backend follow "
+        "REPRO_KERNEL / REPRO_STORE, exactly as library calls do.",
+    )
+    parser.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="listen on a Unix domain socket at PATH (exactly one of "
+        "--socket / --port)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="listen on TCP port N (0 = let the OS pick; the bound "
+        "port is announced on stdout)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port mode (default loopback)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="micro-batch coalescing window in milliseconds: score "
+        "requests arriving within it share one bulk kernel call "
+        "(default 2.0; 0 disables batching entirely)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        metavar="N",
+        help="score batches through a supervised pool of N worker "
+        "processes (default 1 = in-process, 0 = one per CPU; scores "
+        "are identical at any value)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on messages per coalesced bulk call (default 256)",
+    )
+    _add_supervision_args(parser)
+    return parser
+
+
+def _main_serve(argv: list[str]) -> int:
+    import threading
+
+    from repro.engine import supervise
+    from repro.serve.service import (
+        DEFAULT_BATCH_WINDOW_MS,
+        DEFAULT_MAX_BATCH,
+        FilterService,
+        ServeConfig,
+    )
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        config = ServeConfig(
+            socket_path=args.socket,
+            port=args.port,
+            host=args.host,
+            batch_window_ms=(
+                DEFAULT_BATCH_WINDOW_MS
+                if args.batch_window is None
+                else args.batch_window
+            ),
+            workers=args.workers,
+            max_batch=DEFAULT_MAX_BATCH if args.max_batch is None else args.max_batch,
+        )
+        service = FilterService(config)
+
+        def _announce() -> None:
+            # The bound address exists only after the loop binds it;
+            # port 0 callers (the benchmark driver) parse this line.
+            service.ready.wait()
+            if service.startup_error is None and service.address is not None:
+                address = service.address
+                if isinstance(address, tuple):
+                    print(f"serving on {address[0]}:{address[1]}", flush=True)
+                else:
+                    print(f"serving on {address}", flush=True)
+
+        threading.Thread(target=_announce, daemon=True).start()
+        with supervise.use_supervision(_supervision_policy(args)):
+            service.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_gc_shm_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro gc-shm",
@@ -660,6 +770,8 @@ def main(argv: list[str] | None = None) -> int:
         return _main_run_scenario(argv[1:])
     if argv and argv[0] == "replicate":
         return _main_replicate(argv[1:])
+    if argv and argv[0] == "serve":
+        return _main_serve(argv[1:])
     if argv and argv[0] == "gc":
         return _main_gc(argv[1:])
     if argv and argv[0] == "gc-shm":

@@ -20,8 +20,10 @@ __all__ = [
     "ExperimentError",
     "MapTimeoutError",
     "PersistenceError",
+    "ProtocolError",
     "ScenarioError",
     "SegmentLostError",
+    "ServeError",
     "WorkerCrashError",
 ]
 
@@ -124,3 +126,19 @@ class PersistenceError(ReproError):
 
 class ScenarioError(ReproError):
     """A scenario definition, lookup, or override was invalid."""
+
+
+class ServeError(ReproError):
+    """The filter service could not start, stopped unexpectedly, or a
+    client request could not be completed."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame violated the serve protocol.
+
+    Covers framing faults (truncated or oversized frames), payloads
+    that are not JSON objects, and requests whose verb or fields do not
+    match the grammar.  The daemon answers each with a one-line
+    structured error envelope and keeps serving — a malformed client
+    must never take the service down.
+    """

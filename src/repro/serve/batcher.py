@@ -1,0 +1,180 @@
+"""Micro-batching for concurrent score requests.
+
+The daemon's scoring hot path is a bulk kernel call
+(``Classifier.score_many`` / the ND kernel's vectorized twin), whose
+per-call overhead — attribute lookups, kernel dispatch, numpy array
+setup — is amortized across every message in the batch.  A lone wire
+request would pay all of it for one message.  The micro-batcher
+recovers the bulk shape from concurrent traffic: requests arriving
+within a short window (``--batch-window``, milliseconds) are coalesced
+into one bulk call and the per-request results demultiplexed back to
+their futures, in submission order, so no client can observe another
+client's answer.
+
+The contract that makes coalescing safe is the library's own:
+``score_many(token_sets)`` returns exactly
+``[score(ts) for ts in token_sets]`` — byte-identical floats — so a
+batched response equals the response the same request would have
+received alone.  The differential suite holds the daemon to that.
+
+A window of ``0`` disables coalescing (``max_batch`` is forced to 1):
+that is the benchmark's "unbatched" arm and the semantics of
+``repro serve --batch-window 0``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Sequence
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing how traffic actually coalesced."""
+
+    requests: int = 0
+    batches: int = 0
+    batched_requests: int = 0  # requests that shared a batch with >=1 other
+    max_batch: int = 0
+    batch_sizes: dict = field(default_factory=dict)  # size -> count
+
+    def record(self, size: int) -> None:
+        self.requests += size
+        self.batches += 1
+        if size > 1:
+            self.batched_requests += size
+        if size > self.max_batch:
+            self.max_batch = size
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch": self.max_batch,
+            "mean_batch": (self.requests / self.batches) if self.batches else 0.0,
+            "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+        }
+
+
+class MicroBatcher:
+    """Coalesce submitted items into bulk executions.
+
+    ``execute`` is an async callable receiving the list of queued
+    items (in submission order) and returning one result per item, in
+    the same order.  Each submitter's future resolves to its own
+    result; if the bulk call raises, every future in that batch gets
+    the same exception.
+
+    The drain loop waits for the first item, then sleeps the window to
+    let concurrent peers pile in, then executes up to ``max_batch``
+    items.  A zero window skips the sleep — each drain takes whatever
+    is queued *right now*, which with ``max_batch=1`` is exactly
+    one-request-per-call serving.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Sequence[Any]], Awaitable[Sequence[Any]]],
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._execute = execute
+        self._window_s = max(0.0, window_s)
+        self._max_batch = 1 if self._window_s == 0.0 else max_batch
+        self._queue: list[tuple[Any, asyncio.Future]] = []
+        self._wakeup = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self.stats = BatcherStats()
+
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain_loop(), name="repro-serve-batcher"
+            )
+
+    async def close(self) -> None:
+        """Stop the drain loop, failing any still-queued submissions."""
+        self._closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            task, self._task = self._task, None
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for _, future in self._queue:
+            if not future.done():
+                future.set_exception(asyncio.CancelledError("batcher closed"))
+        self._queue.clear()
+
+    def submit(self, item: Any) -> asyncio.Future:
+        """Queue one item; the returned future resolves to its result.
+
+        Synchronous up to the first await of the caller, so items from
+        one connection's reader enqueue in frame order.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.append((item, future))
+        self._wakeup.set()
+        return future
+
+    async def _drain_loop(self) -> None:
+        while True:
+            if not self._queue:
+                await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._closed:
+                return
+            if self._window_s and len(self._queue) < self._max_batch:
+                # Let concurrent submitters land in the same batch.
+                # The window is a *maximum* wait: a batch that is
+                # already full flushes immediately — and only a full
+                # batch skips the window.  Flushing a partial batch
+                # the moment a full one finishes would lock the
+                # steady state into alternating full and fragment
+                # batches, wasting the amortization this layer exists
+                # to provide.
+                await asyncio.sleep(self._window_s)
+            batch = self._queue[: self._max_batch]
+            del self._queue[: len(batch)]
+            if batch:
+                await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
+        items = [item for item, _ in batch]
+        self.stats.record(len(items))
+        try:
+            results = await self._execute(items)
+        except Exception as exc:  # noqa: BLE001 - fan the failure out per-future
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(items):
+            mismatch = RuntimeError(
+                f"bulk scorer returned {len(results)} results "
+                f"for {len(items)} requests"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(mismatch)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,224 @@
+"""The serve wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  Requests carry a
+client-chosen ``id`` (echoed verbatim in the response, which is what
+lets the micro-batcher demultiplex coalesced replies) and a ``verb``;
+responses carry ``ok`` plus the verb's payload, or ``ok: false`` with
+a one-line ``error`` diagnostic — the wire twin of the CLI's
+``error: ...`` / exit-2 envelope.
+
+Verbs
+-----
+
+``ping``
+    Liveness probe; replies ``{"pong": true}``.
+``score``
+    ``tokens`` (list of strings, one message's token stream) →
+    ``score`` (the classifier's I(E)), ``batch`` (how many requests
+    the micro-batcher coalesced into the bulk kernel call that served
+    this one) and ``model_seq`` (the mutation counter of the model
+    state the batch was scored under).
+``train`` / ``feedback``
+    ``tokens`` + ``is_spam`` (bool) → ``seq`` (the global mutation
+    counter after the write applied), ``nspam``, ``nham``.  Both verbs
+    perform the same library call (``Classifier.learn``); ``feedback``
+    is the online score→user-correction loop, ``train`` the bulk
+    ingest path — kept distinct so stats and access policy can treat
+    them differently later.
+``snapshot``
+    ``path`` → persists the live classifier through
+    :func:`repro.spambayes.persistence.save_classifier` (serialized
+    through the writer task, so a snapshot never interleaves with a
+    half-applied write).
+``stats``
+    → counters: request/error totals per verb, batching behaviour,
+    classifier state, kernel/store/worker configuration, supervision
+    recoveries.
+``shutdown``
+    → ``{"stopping": true}``, then the daemon drains in-flight
+    requests and exits cleanly (socket unlinked, workers reaped).
+
+Framing errors
+--------------
+
+Decoding distinguishes three client failure modes so the daemon can
+answer each without dying:
+
+* **oversized** — the declared length exceeds the frame cap; the
+  daemon replies with an error envelope and closes the connection
+  (the remaining bytes cannot be trusted to resynchronize);
+* **truncated** — the peer disconnected mid-frame; a best-effort
+  error envelope is written and the connection dropped;
+* **malformed** — the frame arrived whole but is not a JSON object;
+  the daemon replies (``id: null`` — there is no trustworthy id) and
+  keeps the connection, because framing is still intact.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError, ServeError
+
+__all__ = [
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "VERBS",
+    "OversizedFrameError",
+    "TruncatedFrameError",
+    "decode_payload",
+    "encode_frame",
+    "error_reply",
+    "one_line",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+]
+
+HEADER = struct.Struct(">I")
+"""4-byte big-endian unsigned frame length."""
+
+MAX_FRAME_BYTES = 8 << 20
+"""Default frame cap: large enough for any plausible message token
+stream, small enough that a hostile length prefix cannot balloon the
+daemon's memory."""
+
+VERBS: tuple[str, ...] = (
+    "ping",
+    "score",
+    "train",
+    "feedback",
+    "snapshot",
+    "stats",
+    "shutdown",
+)
+"""Every verb the daemon dispatches."""
+
+
+class OversizedFrameError(ProtocolError):
+    """A frame's declared length exceeds the configured cap."""
+
+
+class TruncatedFrameError(ProtocolError):
+    """The peer disconnected mid-frame (header or body incomplete)."""
+
+
+def one_line(message: object) -> str:
+    """Collapse a diagnostic to a single line for the error envelope."""
+    return " ".join(str(message).split())
+
+
+def error_reply(request_id: Any, message: object) -> dict:
+    """The structured error envelope every failure path answers with."""
+    return {"id": request_id, "ok": False, "error": one_line(message)}
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One framed message: length prefix + compact sorted-key JSON.
+
+    ``sort_keys`` plus fixed separators make the byte stream a pure
+    function of the payload — the differential suites compare served
+    responses against library calls at the float level, and stable
+    encoding keeps the wire itself reproducible too.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse one frame body into a request/response object.
+
+    Raises :class:`~repro.errors.ProtocolError` when the body is not
+    UTF-8 JSON or not a JSON object — the caller still has a framed
+    connection, so it can answer with an envelope and keep reading.
+    """
+    if not body:
+        raise ProtocolError("empty frame (zero-length body)")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame: {one_line(exc)}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(reader, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes | None:
+    """Read one frame body from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises
+    :class:`OversizedFrameError` when the header declares more than
+    ``max_frame_bytes`` (nothing past the header is consumed — the
+    connection cannot be resynchronized and must be closed) and
+    :class:`TruncatedFrameError` when the peer vanishes mid-frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrameError(
+            f"connection closed mid-header ({len(exc.partial)} of {HEADER.size} bytes)"
+        ) from None
+    (length,) = HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise OversizedFrameError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            f"connection closed mid-frame ({len(exc.partial)} of {length} bytes)"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket half (the sync client and the load generator)
+# ----------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:  # pragma: no cover - timing dependent
+            raise ServeError(f"timed out reading from the filter service: {exc}") from None
+        except OSError as exc:
+            raise ServeError(f"connection to the filter service failed: {exc}") from None
+        if not chunk:
+            raise ServeError(
+                f"filter service closed the connection mid-read "
+                f"({n - remaining} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one framed payload to a blocking socket."""
+    try:
+        sock.sendall(encode_frame(payload))
+    except OSError as exc:
+        raise ServeError(f"cannot send to the filter service: {exc}") from None
+
+
+def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """Read one framed payload from a blocking socket."""
+    (length,) = HEADER.unpack(_recv_exact(sock, HEADER.size))
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    return decode_payload(_recv_exact(sock, length))

@@ -1,0 +1,174 @@
+"""Serve differentials: wire scores must be byte-identical to library
+scoring, across every kernel x storage backend combination.
+
+The daemon's whole value rests on one equivalence: a score obtained
+over the socket — possibly coalesced into a bulk kernel call with
+other clients' messages, possibly computed in a supervised worker
+process — is the *same float* ``Classifier.score`` returns for the
+same message against the same training state.  JSON round-trips IEEE
+doubles exactly (``float(repr(x)) == x``), so the comparison below is
+``==`` on floats, not approx.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.rng import SeedSpawner
+from repro.serve import ServeClient, ServeConfig, serve_in_thread
+from repro.spambayes import ndkernel
+from repro.storage import STORE_DIR_ENV, STORE_ENV
+
+KERNELS = ("python", "nd") if ndkernel.available() else ("python",)
+STORES = ("memory", "disk")
+
+
+@contextmanager
+def _env(var: str, value: str):
+    previous = os.environ.get(var)
+    os.environ[var] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = previous
+
+
+@pytest.fixture(autouse=True)
+def _rooted_store_dir(tmp_path, monkeypatch):
+    # Root any disk backend this test lazily creates under pytest's
+    # tmp tree (see test_storage_differential for the caching caveat).
+    monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path))
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_corpus):
+    """A deterministic train/score split of the tiny corpus.
+
+    Token lists (sorted — ``tokens()`` is a frozenset and JSON needs a
+    sequence) rather than message objects, because that is exactly
+    what crosses the wire.
+    """
+    rng = SeedSpawner(2008).rng("serve-differential")
+    inbox = tiny_corpus.dataset.sample_inbox(60, 0.5, rng)
+    train = [(sorted(m.tokens()), m.is_spam) for m in inbox[:40]]
+    score = [sorted(m.tokens()) for m in inbox[40:]]
+    return train, score
+
+
+def _library_scores(train, score):
+    classifier = ndkernel.create_classifier()
+    for tokens, is_spam in train:
+        classifier.learn(tokens, is_spam)
+    return classifier.score_many(score)
+
+
+def _served_scores(tmp_path, train, score, *, batch_window_ms, pipelined=False):
+    config = ServeConfig(
+        socket_path=str(tmp_path / "serve.sock"), batch_window_ms=batch_window_ms
+    )
+    with serve_in_thread(config) as service:
+        with ServeClient(service.address) as client:
+            for tokens, is_spam in train:
+                client.train(tokens, is_spam)
+            if pipelined:
+                # All requests in flight at once: the window coalesces
+                # them into genuinely multi-message bulk calls.
+                ids = [client.send("score", tokens=tokens) for tokens in score]
+                responses = [client.recv(request_id) for request_id in ids]
+                assert max(r["batch"] for r in responses) > 1
+                return [r["score"] for r in responses]
+            return [client.score(tokens) for tokens in score]
+
+
+class TestWireMatchesLibrary:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("store", STORES)
+    def test_scores_byte_identical(self, tmp_path, workload, kernel, store):
+        train, score = workload
+        with _env(ndkernel.KERNEL_ENV, kernel), _env(STORE_ENV, store):
+            expected = _library_scores(train, score)
+            served = _served_scores(tmp_path, train, score, batch_window_ms=0.0)
+        assert served == expected
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_coalesced_scores_byte_identical(self, tmp_path, workload, kernel):
+        """The batched path — many messages per bulk call — returns the
+        same floats as the unbatched path and the library."""
+        train, score = workload
+        with _env(ndkernel.KERNEL_ENV, kernel):
+            expected = _library_scores(train, score)
+            served = _served_scores(
+                tmp_path, train, score, batch_window_ms=25.0, pipelined=True
+            )
+        assert served == expected
+
+    def test_pooled_scores_byte_identical(self, tmp_path, workload):
+        """Worker-pool scoring (the supervised path) changes where the
+        floats are computed, never what they are."""
+        train, score = workload
+        expected = _library_scores(train, score)
+        config = ServeConfig(
+            socket_path=str(tmp_path / "serve.sock"),
+            batch_window_ms=10.0,
+            workers=2,
+        )
+        with serve_in_thread(config) as service:
+            with ServeClient(service.address) as client:
+                for tokens, is_spam in train:
+                    client.train(tokens, is_spam)
+                ids = [client.send("score", tokens=tokens) for tokens in score]
+                served = [client.recv(request_id)["score"] for request_id in ids]
+        assert served == expected
+
+
+class TestMutationSequenceMatchesLibrary:
+    @pytest.mark.parametrize("store", STORES)
+    def test_train_score_feedback_score(self, tmp_path, workload, store):
+        """An interleaved train -> score -> feedback -> score session
+        equals the identical library call sequence, state for state."""
+        train, score = workload
+        probe = score[0]
+        with _env(STORE_ENV, store):
+            classifier = ndkernel.create_classifier()
+            expected = []
+            for index, (tokens, is_spam) in enumerate(train):
+                classifier.learn(tokens, is_spam)
+                if index % 7 == 0:
+                    expected.append(classifier.score(probe))
+            classifier.learn(probe, True)  # the feedback correction
+            expected.append(classifier.score(probe))
+
+            config = ServeConfig(
+                socket_path=str(tmp_path / "serve.sock"), batch_window_ms=0.0
+            )
+            with serve_in_thread(config) as service:
+                with ServeClient(service.address) as client:
+                    served = []
+                    for index, (tokens, is_spam) in enumerate(train):
+                        reply = client.train(tokens, is_spam)
+                        assert reply["seq"] == index + 1
+                        if index % 7 == 0:
+                            served.append(client.score(probe))
+                    client.feedback(probe, True)
+                    served.append(client.score(probe))
+        assert served == expected
+
+    def test_model_seq_tracks_training_state(self, tmp_path, workload):
+        """Every score reply names the exact mutation count it was
+        computed under — the stamp the replay proof keys on."""
+        train, score = workload
+        config = ServeConfig(
+            socket_path=str(tmp_path / "serve.sock"), batch_window_ms=0.0
+        )
+        with serve_in_thread(config) as service:
+            with ServeClient(service.address) as client:
+                for count, (tokens, is_spam) in enumerate(train[:5], start=1):
+                    client.train(tokens, is_spam)
+                    reply = client.score_response(score[0])
+                    assert reply["model_seq"] == count

@@ -11,6 +11,8 @@ meets its floor.  The policy, enforced by the CI coverage leg:
   covered: at least 90%;
 * ``src/repro/engine/sharedmem.py`` — the shared-memory corpus
   transport: at least 90%;
+* ``src/repro/serve/`` — the always-on filter service (framing,
+  micro-batcher, daemon, client): at least 90%;
 * optionally (``--total-floor``), the whole ``repro`` package must
   meet a (lower) overall floor.
 
@@ -47,6 +49,7 @@ DEFAULT_REGIONS: tuple[tuple[str, float], ...] = (
     ("repro/spambayes/ndkernel.py", 90.0),
     ("repro/engine/sharedmem.py", 90.0),
     ("repro/storage/", 90.0),
+    ("repro/serve/", 90.0),
 )
 
 

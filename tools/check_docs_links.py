@@ -75,6 +75,9 @@ def check_cli_invocation(doc: Path, words: list[str], cli: dict) -> list[str]:
     elif words and words[0] == "list-scenarios":
         valid_words, valid_flags = set(), {"-h", "--help"}
         words = words[1:]
+    elif words and words[0] == "serve":
+        valid_words, valid_flags = set(), cli["serve_flags"]
+        words = words[1:]
     elif words and words[0] == "gc-shm":
         valid_words, valid_flags = set(), cli["gc_shm_flags"]
         words = words[1:]
@@ -186,6 +189,7 @@ def cli_tables() -> dict:
         build_parser,
         build_replicate_parser,
         build_run_scenario_parser,
+        build_serve_parser,
     )
     from repro.scenarios import scenario_names
 
@@ -195,6 +199,7 @@ def cli_tables() -> dict:
         "scenario_names": set(scenario_names()),
         "scenario_flags": _flags_of(build_run_scenario_parser()),
         "replicate_flags": _flags_of(build_replicate_parser()),
+        "serve_flags": _flags_of(build_serve_parser()),
         "gc_shm_flags": _flags_of(build_gc_shm_parser()),
         "gc_flags": _flags_of(build_gc_parser()),
         "env_vars": known_env_vars(),
